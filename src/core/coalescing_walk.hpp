@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file coalescing_walk.hpp
+/// Coalescing random walks (no branching): multiple walkers, and whenever
+/// two or more land on the same vertex they merge into one. This is the
+/// "C" half of a cobra walk without the "B" half — the process behind voter
+/// models (Cooper et al., PODC'12) — and serves in tests/benches as the
+/// contrast showing that branching is what buys the cobra walk its speed:
+/// a coalescing system can only lose walkers over time.
+
+namespace cobra::core {
+
+class CoalescingWalks {
+ public:
+  /// One walker at each of `starts` (duplicates merge immediately).
+  CoalescingWalks(const Graph& g, std::span<const Vertex> starts);
+
+  /// `walkers` walkers at distinct random positions are a common setup;
+  /// callers draw those positions and use the span constructor.
+  void reset(std::span<const Vertex> starts);
+
+  void step(Engine& gen);
+
+  /// Current walker positions — pairwise distinct by the merge invariant.
+  [[nodiscard]] std::span<const Vertex> active() const noexcept {
+    return walkers_;
+  }
+
+  [[nodiscard]] std::uint32_t walker_count() const noexcept {
+    return static_cast<std::uint32_t>(walkers_.size());
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+  /// Total merges since construction/reset.
+  [[nodiscard]] std::uint64_t merges() const noexcept { return merges_; }
+
+  /// Rounds until a single walker remains (the coalescence time), stepping
+  /// at most `max_steps`; returns the round count or max_steps if not done.
+  std::uint64_t run_to_single(Engine& gen, std::uint64_t max_steps);
+
+ private:
+  void dedupe();
+
+  const Graph* g_;
+  std::vector<Vertex> walkers_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::uint64_t round_ = 0;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace cobra::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file cobra_walk.hpp
+/// The k-cobra walk — the paper's central object (§2). At every round each
+/// active vertex samples k neighbors independently, uniformly, WITH
+/// replacement; the sampled vertices form the next active set (coalescing
+/// is implicit: a vertex sampled several times is active once).
+///
+/// Implementation notes:
+///   * The active set is a dense vector of vertices; membership dedup uses
+///     a per-vertex epoch stamp (no O(n) clearing per round, no hashing).
+///   * A round costs O(k |S_t|) neighbor samples and nothing else; all
+///     buffers are preallocated at construction.
+///   * k = 1 degenerates to the simple random walk, which tests exploit.
+
+namespace cobra::core {
+
+class CobraWalk {
+ public:
+  /// A k-cobra walk on `g` starting at `start`. Requires k >= 1, a
+  /// non-empty graph with min degree >= 1, and start < n. The Graph must
+  /// outlive the walk.
+  CobraWalk(const Graph& g, Vertex start, std::uint32_t branching = 2);
+
+  /// Restart from a single vertex (reuses buffers).
+  void reset(Vertex start);
+
+  /// Restart from an arbitrary set of active vertices (duplicates in
+  /// `starts` collapse, matching coalescence).
+  void reset(std::span<const Vertex> starts);
+
+  /// Advance one round: every active vertex emits `branching` samples.
+  void step(Engine& gen);
+
+  /// Vertices active at the current round (unordered, duplicate-free).
+  [[nodiscard]] std::span<const Vertex> active() const noexcept {
+    return frontier_;
+  }
+
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint32_t branching() const noexcept { return k_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+  /// Total neighbor samples drawn since the last reset (k per active vertex
+  /// per round) — the work measure reported by the throughput bench.
+  [[nodiscard]] std::uint64_t samples_drawn() const noexcept { return samples_; }
+
+ private:
+  const Graph* g_;
+  std::uint32_t k_;
+  std::vector<Vertex> frontier_;
+  std::vector<Vertex> next_;
+  std::vector<std::uint32_t> stamp_;  ///< stamp_[v] == epoch_ iff v in next_
+  std::uint32_t epoch_ = 0;
+  std::uint64_t round_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace cobra::core

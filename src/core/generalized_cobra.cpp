@@ -1,0 +1,131 @@
+#include "core/generalized_cobra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cobra::core {
+
+namespace schedules {
+
+BranchingSchedule fixed(std::uint32_t k) {
+  if (k < 1) throw std::invalid_argument("schedules::fixed: k >= 1");
+  return [k](Vertex, std::uint64_t, Engine&) { return k; };
+}
+
+BranchingSchedule bernoulli_mixture(std::uint32_t k, double p) {
+  if (k < 1) throw std::invalid_argument("schedules::bernoulli_mixture: k >= 1");
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("schedules::bernoulli_mixture: p in [0,1]");
+  }
+  return [k, p](Vertex, std::uint64_t, Engine& gen) {
+    return k + (rng::bernoulli(gen, p) ? 1u : 0u);
+  };
+}
+
+BranchingSchedule shifted_geometric(double p) {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("schedules::shifted_geometric: p in (0,1]");
+  }
+  return [p](Vertex, std::uint64_t, Engine& gen) {
+    return static_cast<std::uint32_t>(1 + rng::geometric(gen, p));
+  };
+}
+
+BranchingSchedule degree_proportional(const Graph& g, double alpha) {
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("schedules::degree_proportional: alpha > 0");
+  }
+  return [&g, alpha](Vertex v, std::uint64_t, Engine&) {
+    const auto k = static_cast<std::uint32_t>(std::lround(alpha * g.degree(v)));
+    return std::max(1u, k);
+  };
+}
+
+BranchingSchedule faulty(std::uint32_t k, double fail_p) {
+  if (k < 1) throw std::invalid_argument("schedules::faulty: k >= 1");
+  if (fail_p < 0.0 || fail_p > 1.0) {
+    throw std::invalid_argument("schedules::faulty: fail_p in [0,1]");
+  }
+  return [k, fail_p](Vertex, std::uint64_t, Engine& gen) {
+    return rng::bernoulli(gen, fail_p) ? 0u : k;
+  };
+}
+
+BranchingSchedule phased(std::uint32_t k1, std::uint32_t k2,
+                         std::uint64_t switch_round) {
+  if (k1 < 1 || k2 < 1) throw std::invalid_argument("schedules::phased: k >= 1");
+  return [k1, k2, switch_round](Vertex, std::uint64_t round, Engine&) {
+    return round < switch_round ? k1 : k2;
+  };
+}
+
+}  // namespace schedules
+
+GeneralizedCobraWalk::GeneralizedCobraWalk(const Graph& g, Vertex start,
+                                           BranchingSchedule schedule)
+    : g_(&g), schedule_(std::move(schedule)), stamp_(g.num_vertices(), 0) {
+  if (!schedule_) {
+    throw std::invalid_argument("GeneralizedCobraWalk: null schedule");
+  }
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("GeneralizedCobraWalk: empty graph");
+  }
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("GeneralizedCobraWalk: isolated vertex");
+  }
+  frontier_.reserve(g.num_vertices());
+  next_.reserve(g.num_vertices());
+  reset(start);
+}
+
+void GeneralizedCobraWalk::reset(Vertex start) {
+  reset(std::span<const Vertex>(&start, 1));
+}
+
+void GeneralizedCobraWalk::reset(std::span<const Vertex> starts) {
+  frontier_.clear();
+  round_ = 0;
+  samples_ = 0;
+  if (++epoch_ == 0) {
+    stamp_.assign(stamp_.size(), 0);
+    epoch_ = 1;
+  }
+  for (const Vertex v : starts) {
+    if (v >= g_->num_vertices()) {
+      throw std::out_of_range("GeneralizedCobraWalk::reset: out of range");
+    }
+    if (stamp_[v] != epoch_) {
+      stamp_[v] = epoch_;
+      frontier_.push_back(v);
+    }
+  }
+  if (frontier_.empty()) {
+    throw std::invalid_argument("GeneralizedCobraWalk::reset: empty start set");
+  }
+}
+
+void GeneralizedCobraWalk::step(Engine& gen) {
+  next_.clear();
+  if (++epoch_ == 0) {
+    stamp_.assign(stamp_.size(), 0);
+    epoch_ = 1;
+  }
+  for (const Vertex v : frontier_) {
+    const std::uint32_t k = schedule_(v, round_, gen);
+    const auto nbrs = g_->neighbors(v);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const Vertex u =
+          nbrs[static_cast<std::size_t>(rng::uniform_below(gen, nbrs.size()))];
+      if (stamp_[u] != epoch_) {
+        stamp_[u] = epoch_;
+        next_.push_back(u);
+      }
+    }
+    samples_ += k;
+  }
+  frontier_.swap(next_);
+  ++round_;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,62 @@
+#include "core/gossip.hpp"
+
+#include <stdexcept>
+
+namespace cobra::core {
+
+Gossip::Gossip(const Graph& g, Vertex start, GossipMode mode)
+    : g_(&g), mode_(mode), informed_(g.num_vertices(), 0) {
+  if (g.num_vertices() == 0) throw std::invalid_argument("Gossip: empty graph");
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("Gossip: graph has an isolated vertex");
+  }
+  if (start >= g.num_vertices()) {
+    throw std::out_of_range("Gossip: start out of range");
+  }
+  informed_list_.reserve(g.num_vertices());
+  inform(start);
+}
+
+void Gossip::reset(Vertex start) {
+  if (start >= g_->num_vertices()) {
+    throw std::out_of_range("Gossip::reset: start out of range");
+  }
+  informed_.assign(informed_.size(), 0);
+  informed_list_.clear();
+  round_ = 0;
+  inform(start);
+}
+
+void Gossip::inform(Vertex v) {
+  if (informed_[v] == 0) {
+    informed_[v] = 1;
+    informed_list_.push_back(v);
+  }
+}
+
+void Gossip::step(Engine& gen) {
+  ++round_;
+  newly_.clear();
+
+  if (mode_ == GossipMode::Push || mode_ == GossipMode::PushPull) {
+    // Snapshot semantics: only vertices informed at the START of the round
+    // push this round; vertices informed mid-round wait a round, matching
+    // the synchronous model of [17]. informed_list_ grows only via
+    // newly_, so iterating the current extent gives the snapshot.
+    const std::size_t informed_at_start = informed_list_.size();
+    for (std::size_t i = 0; i < informed_at_start; ++i) {
+      const Vertex u = random_neighbor(*g_, informed_list_[i], gen);
+      if (informed_[u] == 0) newly_.push_back(u);
+    }
+  }
+  if (mode_ == GossipMode::Pull || mode_ == GossipMode::PushPull) {
+    for (Vertex v = 0; v < g_->num_vertices(); ++v) {
+      if (informed_[v] != 0) continue;
+      const Vertex u = random_neighbor(*g_, v, gen);
+      if (informed_[u] != 0) newly_.push_back(v);
+    }
+  }
+  for (const Vertex v : newly_) inform(v);
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file gossip.hpp
+/// Push / pull / push-pull rumor spreading (Feige–Peleg–Raghavan–Upfal) —
+/// the gossip baseline of §1.2. Unlike a cobra walk, informed vertices stay
+/// informed forever (the projected Markov chain has an absorbing state),
+/// which is exactly the structural difference the paper calls out. Push
+/// completes in O(n log n) rounds on every connected graph, the bound
+/// conjectured in §6 to hold for cobra walks too.
+
+namespace cobra::core {
+
+enum class GossipMode {
+  Push,      ///< informed vertices send to a random neighbor
+  Pull,      ///< uninformed vertices poll a random neighbor
+  PushPull,  ///< both per round
+};
+
+class Gossip {
+ public:
+  Gossip(const Graph& g, Vertex start, GossipMode mode = GossipMode::Push);
+
+  void reset(Vertex start);
+
+  void step(Engine& gen);
+
+  /// All informed vertices (monotonically growing).
+  [[nodiscard]] std::span<const Vertex> active() const noexcept {
+    return informed_list_;
+  }
+
+  [[nodiscard]] bool is_informed(Vertex v) const { return informed_[v] != 0; }
+  [[nodiscard]] std::uint32_t informed_count() const noexcept {
+    return static_cast<std::uint32_t>(informed_list_.size());
+  }
+  [[nodiscard]] bool complete() const noexcept {
+    return informed_count() == g_->num_vertices();
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] GossipMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+ private:
+  void inform(Vertex v);
+
+  const Graph* g_;
+  GossipMode mode_;
+  std::vector<std::uint8_t> informed_;
+  std::vector<Vertex> informed_list_;
+  std::vector<Vertex> newly_;  // scratch: vertices informed this round
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace cobra::core

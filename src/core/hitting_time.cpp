@@ -1,0 +1,74 @@
+#include "core/hitting_time.hpp"
+
+#include "core/biased_walk.hpp"
+#include "core/cobra_walk.hpp"
+#include "core/cover_time.hpp"
+#include "core/random_walk.hpp"
+
+namespace cobra::core {
+
+namespace {
+
+std::uint64_t budget_or_default(std::uint64_t max_steps, const Graph& g) {
+  return max_steps == 0 ? default_step_budget(g.num_vertices()) : max_steps;
+}
+
+}  // namespace
+
+HitResult cobra_hit(const Graph& g, Vertex start, Vertex target,
+                    std::uint32_t branching, Engine& gen, std::uint64_t max_steps) {
+  CobraWalk walk(g, start, branching);
+  return run_to_hit(walk, target, gen, budget_or_default(max_steps, g));
+}
+
+HitResult random_walk_hit(const Graph& g, Vertex start, Vertex target,
+                          Engine& gen, std::uint64_t max_steps) {
+  RandomWalk walk(g, start);
+  return run_to_hit(walk, target, gen, budget_or_default(max_steps, g));
+}
+
+HitResult inverse_degree_hit(const Graph& g, Vertex start, Vertex target,
+                             Engine& gen, std::uint64_t max_steps) {
+  BiasedWalk walk(g, start, target, BiasSchedule::InverseDegreeBias);
+  return run_to_hit(walk, target, gen, budget_or_default(max_steps, g));
+}
+
+HmaxEstimate estimate_cobra_hmax(const Graph& g, std::uint32_t branching,
+                                 Engine& gen, std::uint64_t pair_samples,
+                                 std::uint32_t trials_per_pair,
+                                 std::uint64_t max_steps) {
+  const std::uint32_t n = g.num_vertices();
+  const std::uint64_t budget = budget_or_default(max_steps, g);
+  HmaxEstimate est;
+
+  auto consider_pair = [&](Vertex u, Vertex v) {
+    if (u == v) return;
+    double total = 0.0;
+    for (std::uint32_t t = 0; t < trials_per_pair; ++t) {
+      const HitResult r = cobra_hit(g, u, v, branching, gen, budget);
+      if (!r.hit) est.all_hit = false;
+      total += static_cast<double>(r.steps);
+    }
+    const double mean = total / trials_per_pair;
+    ++est.pairs;
+    if (mean > est.hmax) {
+      est.hmax = mean;
+      est.argmax_from = u;
+      est.argmax_to = v;
+    }
+  };
+
+  if (pair_samples == 0) {
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = 0; v < n; ++v) consider_pair(u, v);
+    }
+  } else {
+    for (std::uint64_t s = 0; s < pair_samples; ++s) {
+      const auto [u, v] = rng::distinct_pair(gen, n);
+      consider_pair(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+  }
+  return est;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file hitting_time.hpp
+/// Hitting-time measurement (§2, §5). H(u, v) for a cobra walk is the
+/// expected first round at which ANY pebble originating from the walk
+/// started at u reaches v; for single walkers it is the classic hitting
+/// time. The general-graph experiments (Theorems 15 and 20) are phrased in
+/// terms of H and h_max = max_{u,v} H(u, v), which these helpers estimate
+/// by Monte-Carlo over sampled vertex pairs.
+
+namespace cobra::core {
+
+struct HitResult {
+  std::uint64_t steps = 0;  ///< first round with target active (valid iff hit)
+  bool hit = false;
+};
+
+/// Run `process` until `target` appears in its active set, at most
+/// `max_steps` rounds. A target already active at round 0 returns 0 steps.
+template <VertexProcess P>
+HitResult run_to_hit(P& process, Vertex target, Engine& gen,
+                     std::uint64_t max_steps) {
+  HitResult result;
+  for (const Vertex v : process.active()) {
+    if (v == target) {
+      result.hit = true;
+      return result;
+    }
+  }
+  while (result.steps < max_steps) {
+    process.step(gen);
+    ++result.steps;
+    for (const Vertex v : process.active()) {
+      if (v == target) {
+        result.hit = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+/// One-shot: k-cobra walk from `start` until `target` is hit.
+HitResult cobra_hit(const Graph& g, Vertex start, Vertex target,
+                    std::uint32_t branching, Engine& gen,
+                    std::uint64_t max_steps = 0);
+
+/// One-shot: simple random walk hitting time.
+HitResult random_walk_hit(const Graph& g, Vertex start, Vertex target,
+                          Engine& gen, std::uint64_t max_steps = 0);
+
+/// One-shot: biased-walk hitting time (schedule per biased_walk.hpp).
+HitResult inverse_degree_hit(const Graph& g, Vertex start, Vertex target,
+                             Engine& gen, std::uint64_t max_steps = 0);
+
+/// Estimate of max_{u,v} H(u, v) by exhaustive or sampled pair sweep:
+/// `pair_samples` == 0 means all ordered pairs (only sane for small n);
+/// otherwise that many random pairs. Each pair averaged over
+/// `trials_per_pair` runs. Returns the max of the per-pair mean hit times.
+struct HmaxEstimate {
+  double hmax = 0.0;         ///< max over pairs of mean hitting time
+  Vertex argmax_from = 0;
+  Vertex argmax_to = 0;
+  std::uint64_t pairs = 0;
+  bool all_hit = true;       ///< false if any run exhausted its budget
+};
+HmaxEstimate estimate_cobra_hmax(const Graph& g, std::uint32_t branching,
+                                 Engine& gen, std::uint64_t pair_samples,
+                                 std::uint32_t trials_per_pair,
+                                 std::uint64_t max_steps = 0);
+
+}  // namespace cobra::core

@@ -1,0 +1,180 @@
+#include "core/metropolis_walk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace cobra::core {
+
+namespace {
+
+/// Max-product Dijkstra: maximize prod (1 - 1/d(y)) over path vertices
+/// excluding the target. Equivalently minimize sum -log(1 - 1/d(y)).
+/// cost[x] accumulates the path's own vertices from x up to (but not
+/// including) the target, so sigma(target) = 1 and a neighbor y of the
+/// target has sigma(y) = 1 - 1/d(y).
+std::vector<double> max_product_to_target(const Graph& g, Vertex target) {
+  const std::uint32_t n = g.num_vertices();
+  std::vector<double> cost(n, std::numeric_limits<double>::infinity());
+  std::vector<double> vertex_cost(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const double d = g.degree(v);
+    // degree-1 vertices have 1 - 1/d = 0: the product vanishes, which we
+    // encode as an (effectively) infinite additive cost.
+    vertex_cost[v] = d > 1.0 ? -std::log1p(-1.0 / d) : 1e18;
+  }
+
+  using Entry = std::pair<double, Vertex>;  // (cost, vertex), min-heap
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  cost[target] = 0.0;
+  heap.push({0.0, target});
+  while (!heap.empty()) {
+    const auto [c, v] = heap.top();
+    heap.pop();
+    if (c > cost[v]) continue;
+    for (const Vertex u : g.neighbors(v)) {
+      // Extending the path from u through v: u pays its own vertex cost.
+      const double candidate = c + vertex_cost[u];
+      if (candidate < cost[u]) {
+        cost[u] = candidate;
+        heap.push({candidate, u});
+      }
+    }
+  }
+
+  std::vector<double> sigma(n);
+  for (Vertex v = 0; v < n; ++v) {
+    sigma[v] = std::isinf(cost[v]) ? 0.0 : std::exp(-cost[v]);
+  }
+  sigma[target] = 1.0;
+  return sigma;
+}
+
+}  // namespace
+
+MetropolisWalk::MetropolisWalk(const Graph& g, Vertex target)
+    : g_(&g), target_(target), position_(target) {
+  if (target >= g.num_vertices()) {
+    throw std::out_of_range("MetropolisWalk: target out of range");
+  }
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("MetropolisWalk: graph must be connected");
+  }
+  if (g.min_degree() < 2) {
+    // Degree-1 vertices have 1 - 1/d = 0, collapsing sigma_hat (and the
+    // chain's stationary mass) to zero and making the derived chain P
+    // absorbing at their neighbors. The paper's construction is only used
+    // where min degree >= 2; we enforce that precondition.
+    throw std::invalid_argument("MetropolisWalk: min degree must be >= 2");
+  }
+
+  sigma_ = max_product_to_target(g, target);
+
+  // Lemma 18 relaxation via min-weight path, weights 1/d per vertex
+  // (excluding the target), computed by the same Dijkstra with different
+  // vertex costs.
+  {
+    const std::uint32_t n = g.num_vertices();
+    std::vector<double> cost(n, std::numeric_limits<double>::infinity());
+    using Entry = std::pair<double, Vertex>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    cost[target] = 0.0;
+    heap.push({0.0, target});
+    while (!heap.empty()) {
+      const auto [c, v] = heap.top();
+      heap.pop();
+      if (c > cost[v]) continue;
+      for (const Vertex u : g.neighbors(v)) {
+        const double candidate = c + 1.0 / g.degree(u);
+        if (candidate < cost[u]) {
+          cost[u] = candidate;
+          heap.push({candidate, u});
+        }
+      }
+    }
+    e_bound_.resize(n);
+    for (Vertex v = 0; v < n; ++v) e_bound_[v] = std::exp(-cost[v]);
+    e_bound_[target] = 1.0;
+  }
+
+  // pi_M (Lemma 16): gamma d(v) at the target, gamma sigma_hat d(x) else.
+  pi_.resize(g.num_vertices());
+  double norm = 0.0;
+  double bound_num = g.degree(target);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    pi_[v] = (v == target ? 1.0 : sigma_[v]) * g.degree(v);
+    norm += pi_[v];
+    if (v != target) bound_num += sigma_[v] * g.degree(v);
+  }
+  for (double& p : pi_) p /= norm;
+  bound_ = bound_num / g.degree(target);
+}
+
+double MetropolisWalk::acceptance(Vertex x, Vertex y) const {
+  // Metropolis for target pi with uniform-neighbor proposals:
+  // accept = min(1, (pi(y)/d(y)) / (pi(x)/d(x))).
+  const double from = pi_[x] / g_->degree(x);
+  const double to = pi_[y] / g_->degree(y);
+  if (from <= 0.0) return 1.0;
+  return std::min(1.0, to / from);
+}
+
+void MetropolisWalk::reset(Vertex start) {
+  if (start >= g_->num_vertices()) {
+    throw std::out_of_range("MetropolisWalk::reset: out of range");
+  }
+  position_ = start;
+  round_ = 0;
+}
+
+void MetropolisWalk::step(Engine& gen) {
+  ++round_;
+  const Vertex proposal = random_neighbor(*g_, position_, gen);
+  if (rng::bernoulli(gen, acceptance(position_, proposal))) {
+    position_ = proposal;
+  }
+  // Rejection keeps the position: the self-loop is a real step of M and is
+  // what makes E[return time] = 1/pi_M(v) hold exactly.
+}
+
+double MetropolisWalk::measure_return_time(Engine& gen,
+                                           std::uint32_t excursions,
+                                           std::uint64_t max_steps) {
+  reset(target_);
+  std::uint64_t total_steps = 0;
+  std::uint32_t completed = 0;
+  std::uint64_t budget = 0;
+  while (completed < excursions && budget < max_steps) {
+    // One excursion: step until back at the target.
+    do {
+      step(gen);
+      ++total_steps;
+      ++budget;
+    } while (position_ != target_ && budget < max_steps);
+    if (position_ == target_) ++completed;
+  }
+  if (completed == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(total_steps) / completed;
+}
+
+double MetropolisWalk::min_transition_margin() const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (Vertex x = 0; x < g_->num_vertices(); ++x) {
+    if (x == target_) continue;  // the target moves uniformly by design
+    const double d = g_->degree(x);
+    // M(x, y) = accept(x,y)/d; the §5.3 inequality is
+    // M(x, y) >= (1 - 1/d)/d, i.e. accept(x, y) >= 1 - 1/d(x), which the
+    // paper derives from sigma_hat(y) >= (1 - 1/d(x)) sigma_hat(x).
+    for (const Vertex y : g_->neighbors(x)) {
+      const double m_xy = acceptance(x, y) / d;
+      worst = std::min(worst, m_xy - (1.0 - 1.0 / d) / d);
+    }
+  }
+  return worst;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file metropolis_walk.hpp
+/// The Metropolis machinery of §5.3 (Lemma 16, Corollary 17). To bound the
+/// return time of the inverse-degree-biased walk, the paper constructs a
+/// Metropolis chain M whose stationary distribution is
+///
+///     pi_M(v) = gamma * d(v)                   for the target v,
+///     pi_M(x) = gamma * sigma_hat(x, v) * d(x) for x != v,
+///
+/// where sigma_hat(x, v) maximizes prod_{y in P} (1 - 1/d(y)) over paths P
+/// from x to v (we take the product over P's vertices excluding the target
+/// itself), and shows the derived self-loop-free chain
+/// P(x,y) = M(x,y)/(1 - M(x,x)) is a legal inverse-degree-biased walk with
+/// return time to v at most
+///
+///     R(v) <= (d(v) + sum_{x != v} sigma_hat(x, v) d(x)) / d(v).   (Cor 17)
+///
+/// This module computes sigma_hat exactly (max-product Dijkstra), builds
+/// and simulates the Metropolis chain M (whose return time to v is exactly
+/// 1/pi_M(v), i.e. the Corollary 17 bound), verifies the §5.3 floor
+/// M(x,y) >= (1 - 1/d(x))/d(x) that makes M a legal inverse-degree-biased
+/// walk, and exposes Lemma 18's relaxation sigma_hat(x,v) <= exp(-p(x,v))
+/// for cross-checks. (The paper's self-loop-free chain P only improves
+/// hitting times further; M is the object Corollary 17's number bounds.)
+
+namespace cobra::core {
+
+class MetropolisWalk {
+ public:
+  /// Build the chain targeting vertex `target` on connected graph `g`.
+  MetropolisWalk(const Graph& g, Vertex target);
+
+  /// sigma_hat(x, target): the max-product path weight (1 for the target).
+  [[nodiscard]] double sigma_hat(Vertex x) const { return sigma_.at(x); }
+  [[nodiscard]] const std::vector<double>& sigma_hats() const noexcept {
+    return sigma_;
+  }
+
+  /// The Lemma 16 stationary distribution pi_M (normalized).
+  [[nodiscard]] const std::vector<double>& stationary() const noexcept {
+    return pi_;
+  }
+
+  /// The Corollary 17 return-time bound (d(v) + sum sigma_hat d) / d(v).
+  [[nodiscard]] double return_time_bound() const noexcept { return bound_; }
+
+  /// Lemma 18 upper bound exp(-p(x, target)), p = min-weight path with
+  /// vertex weights 1/d(z) (target excluded from the sum).
+  [[nodiscard]] double lemma18_bound(Vertex x) const { return e_bound_.at(x); }
+
+  // -- simulation of the Metropolis chain M --------------------------------
+
+  void reset(Vertex start);
+  /// One M-step: propose a uniform neighbor, accept with the Metropolis
+  /// ratio, stay put otherwise (self-loops are real steps of the chain).
+  void step(Engine& gen);
+
+  [[nodiscard]] Vertex position() const noexcept { return position_; }
+  [[nodiscard]] Vertex target() const noexcept { return target_; }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+  /// Mean return time to the target over `excursions` completed excursions
+  /// starting at the target. (One excursion = leave, come back.)
+  [[nodiscard]] double measure_return_time(Engine& gen, std::uint32_t excursions,
+                                           std::uint64_t max_steps);
+
+  /// Verify M is a legal inverse-degree-biased walk: every neighbor
+  /// transition probability M(x,y) is >= (1 - 1/d(x))/d(x) (the §5.3
+  /// derivation's key inequality). Returns the worst margin over all
+  /// non-target x and neighbors y (>= 0 means legal).
+  [[nodiscard]] double min_transition_margin() const;
+
+ private:
+  /// Metropolis acceptance probability of proposal x -> y.
+  [[nodiscard]] double acceptance(Vertex x, Vertex y) const;
+
+  const Graph* g_;
+  Vertex target_;
+  Vertex position_;
+  std::vector<double> sigma_;
+  std::vector<double> e_bound_;
+  std::vector<double> pi_;
+  double bound_ = 0.0;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace cobra::core

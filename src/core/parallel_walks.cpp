@@ -1,0 +1,44 @@
+#include "core/parallel_walks.hpp"
+
+#include <stdexcept>
+
+namespace cobra::core {
+
+ParallelWalks::ParallelWalks(const Graph& g, Vertex start, std::uint32_t walkers)
+    : g_(&g), positions_(walkers, start) {
+  if (walkers < 1) throw std::invalid_argument("ParallelWalks: walkers >= 1");
+  if (start >= g.num_vertices()) {
+    throw std::out_of_range("ParallelWalks: start out of range");
+  }
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("ParallelWalks: graph has an isolated vertex");
+  }
+}
+
+ParallelWalks::ParallelWalks(const Graph& g, std::span<const Vertex> starts)
+    : g_(&g), positions_(starts.begin(), starts.end()) {
+  if (positions_.empty()) throw std::invalid_argument("ParallelWalks: no walkers");
+  for (const Vertex v : positions_) {
+    if (v >= g.num_vertices()) {
+      throw std::out_of_range("ParallelWalks: start out of range");
+    }
+  }
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("ParallelWalks: graph has an isolated vertex");
+  }
+}
+
+void ParallelWalks::reset(Vertex start) {
+  if (start >= g_->num_vertices()) {
+    throw std::out_of_range("ParallelWalks::reset: start out of range");
+  }
+  positions_.assign(positions_.size(), start);
+  round_ = 0;
+}
+
+void ParallelWalks::step(Engine& gen) {
+  ++round_;
+  for (Vertex& p : positions_) p = random_neighbor(*g_, p, gen);
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file parallel_walks.hpp
+/// k independent simple random walks run in lockstep — the "parallel random
+/// walks" baseline of Alon et al. (SPAA'08) that §1.2 contrasts with cobra
+/// walks: the walker count here is a fixed parameter, whereas a cobra
+/// walk's active-set size is a random process. Walkers pass through each
+/// other freely (no coalescing).
+
+namespace cobra::core {
+
+class ParallelWalks {
+ public:
+  /// `walkers` independent walks all starting at `start`.
+  ParallelWalks(const Graph& g, Vertex start, std::uint32_t walkers);
+
+  /// Walks starting from explicit (possibly repeated) positions.
+  ParallelWalks(const Graph& g, std::span<const Vertex> starts);
+
+  void reset(Vertex start);
+
+  void step(Engine& gen);
+
+  /// Positions of all walkers — may contain duplicates; the cover engine
+  /// tolerates that (absorbing a vertex twice is a no-op).
+  [[nodiscard]] std::span<const Vertex> active() const noexcept {
+    return positions_;
+  }
+
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint32_t walkers() const noexcept {
+    return static_cast<std::uint32_t>(positions_.size());
+  }
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+ private:
+  const Graph* g_;
+  std::vector<Vertex> positions_;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace cobra::core

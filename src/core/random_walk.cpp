@@ -1,0 +1,35 @@
+#include "core/random_walk.hpp"
+
+#include <stdexcept>
+
+namespace cobra::core {
+
+RandomWalk::RandomWalk(const Graph& g, Vertex start, double laziness)
+    : g_(&g), position_(start), laziness_(laziness) {
+  if (g.num_vertices() == 0) throw std::invalid_argument("RandomWalk: empty graph");
+  if (start >= g.num_vertices()) {
+    throw std::out_of_range("RandomWalk: start out of range");
+  }
+  if (laziness < 0.0 || laziness >= 1.0) {
+    throw std::invalid_argument("RandomWalk: laziness in [0, 1)");
+  }
+  if (g.min_degree() == 0) {
+    throw std::invalid_argument("RandomWalk: graph has an isolated vertex");
+  }
+}
+
+void RandomWalk::reset(Vertex start) {
+  if (start >= g_->num_vertices()) {
+    throw std::out_of_range("RandomWalk::reset: start out of range");
+  }
+  position_ = start;
+  round_ = 0;
+}
+
+void RandomWalk::step(Engine& gen) {
+  ++round_;
+  if (laziness_ > 0.0 && rng::bernoulli(gen, laziness_)) return;
+  position_ = random_neighbor(*g_, position_, gen);
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,51 @@
+#include "core/sis_epidemic.hpp"
+
+namespace cobra::core {
+
+SisEpidemic::SisEpidemic(const Graph& g, Vertex start,
+                         std::uint32_t contacts_per_step)
+    : walk_(g, start, contacts_per_step), ever_(g.num_vertices(), 0) {
+  absorb();
+  history_.push_back({0, prevalence(), last_incidence_, ever_count_});
+}
+
+void SisEpidemic::reset(Vertex start) {
+  walk_.reset(start);
+  ever_.assign(ever_.size(), 0);
+  ever_count_ = 0;
+  history_.clear();
+  absorb();
+  history_.push_back({0, prevalence(), last_incidence_, ever_count_});
+}
+
+void SisEpidemic::absorb() {
+  last_incidence_ = 0;
+  for (const Vertex v : walk_.active()) {
+    if (ever_[v] == 0) {
+      ever_[v] = 1;
+      ++ever_count_;
+      ++last_incidence_;
+    }
+  }
+}
+
+EpidemicRound SisEpidemic::step(Engine& gen) {
+  walk_.step(gen);
+  absorb();
+  const EpidemicRound record{walk_.round(), prevalence(), last_incidence_,
+                             ever_count_};
+  history_.push_back(record);
+  return record;
+}
+
+std::uint64_t SisEpidemic::run_until_all_exposed(Engine& gen,
+                                                 std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (!everyone_exposed() && steps < max_steps) {
+    step(gen);
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace cobra::core

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/cobra_walk.hpp"
+#include "core/types.hpp"
+
+/// \file sis_epidemic.hpp
+/// The disease-spread reading of a cobra walk (§1): an idealized process in
+/// the SIS (Susceptible-Infected-Susceptible) family where each infected
+/// agent infects k random contacts per step and immediately recovers (but
+/// can be reinfected, including in the very next step). Infected set at
+/// time t == the cobra walk's active set S_t.
+///
+/// The wrapper adds the epidemiology-facing quantities on top of CobraWalk:
+/// per-round incidence (new exposures), prevalence (current infected),
+/// cumulative attack rate, and extinction detection for the k=1 edge case
+/// interpretation (a cobra walk never goes extinct since every active
+/// vertex infects k >= 1 neighbors; "extinction" here means prevalence
+/// collapsed to a single vertex, the maximal coalescence event).
+
+namespace cobra::core {
+
+struct EpidemicRound {
+  std::uint64_t round = 0;
+  std::uint32_t prevalence = 0;     ///< |S_t|: currently infected
+  std::uint32_t incidence = 0;      ///< never-before-infected vertices this round
+  std::uint32_t ever_infected = 0;  ///< cumulative attack count
+};
+
+class SisEpidemic {
+ public:
+  /// Patient zero at `start`, infecting `contacts_per_step` (the cobra k)
+  /// random neighbors each round.
+  SisEpidemic(const Graph& g, Vertex start, std::uint32_t contacts_per_step = 2);
+
+  void reset(Vertex start);
+
+  /// Advance one round and return its record.
+  EpidemicRound step(Engine& gen);
+
+  [[nodiscard]] std::span<const Vertex> infected() const noexcept {
+    return walk_.active();
+  }
+  [[nodiscard]] std::uint32_t prevalence() const noexcept {
+    return static_cast<std::uint32_t>(walk_.active().size());
+  }
+  [[nodiscard]] std::uint32_t ever_infected() const noexcept {
+    return ever_count_;
+  }
+  [[nodiscard]] double attack_rate() const noexcept {
+    return static_cast<double>(ever_count_) /
+           static_cast<double>(ever_.size());
+  }
+  [[nodiscard]] bool everyone_exposed() const noexcept {
+    return ever_count_ == static_cast<std::uint32_t>(ever_.size());
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return walk_.round(); }
+  [[nodiscard]] const std::vector<EpidemicRound>& history() const noexcept {
+    return history_;
+  }
+
+  /// Run until everyone has been exposed or `max_steps` elapse; returns the
+  /// number of rounds taken (== max_steps if not fully exposed).
+  std::uint64_t run_until_all_exposed(Engine& gen, std::uint64_t max_steps);
+
+ private:
+  void absorb();
+
+  CobraWalk walk_;
+  std::vector<std::uint8_t> ever_;
+  std::uint32_t ever_count_ = 0;
+  std::uint32_t last_incidence_ = 0;
+  std::vector<EpidemicRound> history_;
+};
+
+}  // namespace cobra::core

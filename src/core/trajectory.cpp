@@ -1,0 +1,40 @@
+#include "core/trajectory.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cobra::core {
+
+TrajectoryRecorder::TrajectoryRecorder(std::uint32_t num_vertices)
+    : covered_(num_vertices, 0) {}
+
+void TrajectoryRecorder::reset() {
+  covered_.assign(covered_.size(), 0);
+  covered_count_ = 0;
+  peak_active_ = 0;
+  points_.clear();
+}
+
+void TrajectoryRecorder::absorb_and_record(std::span<const Vertex> active,
+                                           std::uint64_t round) {
+  for (const Vertex v : active) {
+    if (covered_[v] == 0) {
+      covered_[v] = 1;
+      ++covered_count_;
+    }
+  }
+  const auto size = static_cast<std::uint32_t>(active.size());
+  peak_active_ = std::max(peak_active_, size);
+  points_.push_back({round, size, covered_count_});
+}
+
+std::uint64_t TrajectoryRecorder::round_at_coverage(double fraction) const {
+  const auto needed = static_cast<std::uint32_t>(
+      fraction * static_cast<double>(covered_.size()));
+  for (const TrajectoryPoint& p : points_) {
+    if (p.covered >= needed) return p.round;
+  }
+  return std::numeric_limits<std::uint64_t>::max();
+}
+
+}  // namespace cobra::core

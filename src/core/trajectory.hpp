@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file trajectory.hpp
+/// Per-round trajectory recording: active-set size and cumulative coverage
+/// over time. This is the library's "figure data" — the growth curves that
+/// show the two-phase behaviour the paper's §4 analysis rests on (an
+/// initial exponential growth of the active set followed by a coverage
+/// sweep) come straight out of these records.
+
+namespace cobra::core {
+
+struct TrajectoryPoint {
+  std::uint64_t round = 0;
+  std::uint32_t active_size = 0;
+  std::uint32_t covered = 0;
+};
+
+class TrajectoryRecorder {
+ public:
+  explicit TrajectoryRecorder(std::uint32_t num_vertices);
+
+  /// Record the process state at its current round. Coverage accumulates
+  /// across calls; call in round order.
+  template <VertexProcess P>
+  void record(const P& process) {
+    absorb_and_record(process.active(), process.round());
+  }
+
+  void reset();
+
+  [[nodiscard]] const std::vector<TrajectoryPoint>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::uint32_t covered_count() const noexcept { return covered_count_; }
+  [[nodiscard]] bool complete() const noexcept {
+    return covered_count_ == static_cast<std::uint32_t>(covered_.size());
+  }
+
+  /// Largest active-set size seen so far.
+  [[nodiscard]] std::uint32_t peak_active() const noexcept { return peak_active_; }
+
+  /// First round at which coverage reached `fraction` (or UINT64_MAX).
+  [[nodiscard]] std::uint64_t round_at_coverage(double fraction) const;
+
+ private:
+  void absorb_and_record(std::span<const Vertex> active, std::uint64_t round);
+
+  std::vector<std::uint8_t> covered_;
+  std::uint32_t covered_count_ = 0;
+  std::uint32_t peak_active_ = 0;
+  std::vector<TrajectoryPoint> points_;
+};
+
+}  // namespace cobra::core

@@ -1,0 +1,192 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace cobra::graph {
+
+namespace {
+
+/// Shared BFS core filling distances and optionally parents.
+void bfs_core(const Graph& g, Vertex source, std::vector<std::uint32_t>& dist,
+              std::vector<Vertex>* parents) {
+  if (source >= g.num_vertices()) {
+    throw std::out_of_range("bfs: source out of range");
+  }
+  dist.assign(g.num_vertices(), kUnreachable);
+  if (parents != nullptr) parents->assign(g.num_vertices(), kUnreachable);
+
+  std::vector<Vertex> frontier{source};
+  std::vector<Vertex> next;
+  dist[source] = 0;
+  if (parents != nullptr) (*parents)[source] = source;
+
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const Vertex v : frontier) {
+      for (const Vertex u : g.neighbors(v)) {
+        if (dist[u] == kUnreachable) {
+          dist[u] = level;
+          if (parents != nullptr) (*parents)[u] = v;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
+  std::vector<std::uint32_t> dist;
+  bfs_core(g, source, dist, nullptr);
+  return dist;
+}
+
+std::vector<Vertex> bfs_parents(const Graph& g, Vertex source) {
+  std::vector<std::uint32_t> dist;
+  std::vector<Vertex> parents;
+  bfs_core(g, source, dist, &parents);
+  return parents;
+}
+
+std::vector<Vertex> shortest_path(const Graph& g, Vertex source, Vertex target) {
+  const auto parents = bfs_parents(g, source);
+  if (target >= g.num_vertices() || parents[target] == kUnreachable) return {};
+  std::vector<Vertex> path{target};
+  Vertex cur = target;
+  while (cur != source) {
+    cur = parents[cur];
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  std::vector<std::uint32_t> component(g.num_vertices(), kUnreachable);
+  std::uint32_t next_id = 0;
+  std::vector<Vertex> stack;
+  for (Vertex start = 0; start < g.num_vertices(); ++start) {
+    if (component[start] != kUnreachable) continue;
+    component[start] = next_id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const Vertex u : g.neighbors(v)) {
+        if (component[u] == kUnreachable) {
+          component[u] = next_id;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+std::uint32_t num_components(const Graph& g) {
+  const auto component = connected_components(g);
+  std::uint32_t count = 0;
+  for (const std::uint32_t c : component) count = std::max(count, c + 1);
+  return g.num_vertices() == 0 ? 0 : count;
+}
+
+ComponentExtraction largest_component(const Graph& g) {
+  const auto component = connected_components(g);
+  std::uint32_t count = 0;
+  for (const std::uint32_t c : component) count = std::max(count, c + 1);
+
+  std::vector<std::uint32_t> sizes(count, 0);
+  for (const std::uint32_t c : component) ++sizes[c];
+  const std::uint32_t biggest = static_cast<std::uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  ComponentExtraction out;
+  out.old_to_new.assign(g.num_vertices(), kUnreachable);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (component[v] == biggest) {
+      out.old_to_new[v] = static_cast<Vertex>(out.new_to_old.size());
+      out.new_to_old.push_back(v);
+    }
+  }
+  GraphBuilder b(static_cast<std::uint32_t>(out.new_to_old.size()));
+  for (const Vertex v : out.new_to_old) {
+    std::uint32_t self_arcs = 0;
+    for (const Vertex u : g.neighbors(v)) {
+      if (u == v) {
+        ++self_arcs;  // each self-loop is stored as two arcs
+      } else if (u > v && component[u] == biggest) {
+        b.add_edge(out.old_to_new[v], out.old_to_new[u]);
+      }
+    }
+    for (std::uint32_t loop = 0; loop < self_arcs / 2; ++loop) {
+      b.add_edge(out.old_to_new[v], out.old_to_new[v]);
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+std::uint32_t eccentricity(const Graph& g, Vertex v) {
+  const auto dist = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t exact_diameter(const Graph& g) {
+  std::uint32_t diameter = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t ecc = eccentricity(g, v);
+    if (ecc == kUnreachable) return kUnreachable;
+    diameter = std::max(diameter, ecc);
+  }
+  return diameter;
+}
+
+std::uint32_t double_sweep_diameter_lb(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  const auto dist0 = bfs_distances(g, 0);
+  Vertex far = 0;
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (dist0[v] != kUnreachable && dist0[v] > best) {
+      best = dist0[v];
+      far = v;
+    }
+  }
+  // Second sweep from the farthest vertex; ignore unreachable vertices so
+  // the heuristic still returns the component-local diameter bound.
+  const auto dist1 = bfs_distances(g, far);
+  std::uint32_t lb = 0;
+  for (const std::uint32_t d : dist1) {
+    if (d != kUnreachable) lb = std::max(lb, d);
+  }
+  return lb;
+}
+
+std::uint64_t path_degree_sum(const Graph& g, const std::vector<Vertex>& path) {
+  std::uint64_t total = 0;
+  for (const Vertex v : path) total += g.degree(v);
+  return total;
+}
+
+}  // namespace cobra::graph

@@ -1,0 +1,58 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cobra::graph {
+
+GraphBuilder::GraphBuilder(std::uint32_t num_vertices) : n_(num_vertices) {}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument("GraphBuilder: endpoint out of range");
+  }
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::reserve(std::size_t num_edges) { edges_.reserve(num_edges); }
+
+std::size_t GraphBuilder::simplify() {
+  const std::size_t before = edges_.size();
+  // Canonicalize each edge as (min, max), drop loops, sort, unique.
+  std::erase_if(edges_, [](const auto& e) { return e.first == e.second; });
+  for (auto& [u, v] : edges_) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  return before - edges_.size();
+}
+
+Graph GraphBuilder::build() const {
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n_) + 1, 0);
+
+  // Counting pass: each endpoint gains one arc; self-loops gain two.
+  for (const auto& [u, v] : edges_) {
+    ++offsets[static_cast<std::size_t>(u) + 1];
+    ++offsets[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<Vertex> targets(offsets.back());
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    targets[cursor[u]++] = v;
+    targets[cursor[v]++] = u;
+  }
+
+  // Sort each adjacency list: deterministic layout, better locality, and
+  // enables binary-search adjacency checks downstream.
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+
+  return Graph(n_, std::move(offsets), std::move(targets));
+}
+
+}  // namespace cobra::graph

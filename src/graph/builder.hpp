@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file builder.hpp
+/// Mutable edge-list accumulator that compiles into an immutable CSR Graph.
+/// All generators funnel through this: they add undirected edges (each once)
+/// and the builder materializes the symmetric arc arrays, optionally
+/// deduplicating parallel edges and dropping self-loops (needed by the
+/// configuration model, which produces both).
+
+namespace cobra::graph {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::uint32_t num_vertices);
+
+  /// Record the undirected edge {u, v}. Self-loops (u == v) are allowed at
+  /// this stage. Out-of-range endpoints throw std::invalid_argument.
+  void add_edge(Vertex u, Vertex v);
+
+  /// Reserve space for `num_edges` undirected edges.
+  void reserve(std::size_t num_edges);
+
+  [[nodiscard]] std::uint32_t num_vertices() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Remove parallel edges and self-loops in place (the simplification step
+  /// of the configuration model). Returns the number of edges removed.
+  std::size_t simplify();
+
+  /// Compile into a CSR Graph. Each undirected edge {u, v} becomes arcs
+  /// u->v and v->u; a self-loop {v, v} becomes two arcs v->v (degree +2),
+  /// matching the vol(V) = 2|E| convention. The builder remains usable.
+  [[nodiscard]] Graph build() const;
+
+  /// The raw undirected edge list (tests use this).
+  [[nodiscard]] const std::vector<std::pair<Vertex, Vertex>>& edges() const noexcept {
+    return edges_;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+};
+
+}  // namespace cobra::graph

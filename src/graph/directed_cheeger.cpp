@@ -1,0 +1,133 @@
+#include "graph/directed_cheeger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "numeric/dense.hpp"
+
+namespace cobra::graph {
+
+namespace {
+
+void check_pi(const Digraph& d, const std::vector<double>& pi) {
+  if (pi.size() != d.num_vertices()) {
+    throw std::invalid_argument("directed cheeger: pi size mismatch");
+  }
+}
+
+/// Dense row-stochastic transition matrix of the digraph.
+numeric::Matrix transition_matrix(const Digraph& d) {
+  const std::uint32_t n = d.num_vertices();
+  numeric::Matrix p(n);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto targets = d.out_neighbors(v);
+    const auto weights = d.out_weights(v);
+    const double total = d.out_weight_total(v);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      p.at(v, targets[i]) += weights[i] / total;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<double> circulation_inflow(const Digraph& d,
+                                       const std::vector<double>& pi) {
+  check_pi(d, pi);
+  std::vector<double> inflow(d.num_vertices(), 0.0);
+  for (Vertex u = 0; u < d.num_vertices(); ++u) {
+    const auto targets = d.out_neighbors(u);
+    const auto weights = d.out_weights(u);
+    const double total = d.out_weight_total(u);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      inflow[targets[i]] += pi[u] * weights[i] / total;
+    }
+  }
+  return inflow;
+}
+
+double directed_cheeger_small(const Digraph& d, const std::vector<double>& pi) {
+  check_pi(d, pi);
+  const std::uint32_t n = d.num_vertices();
+  if (n < 2 || n > 24) {
+    throw std::invalid_argument("directed_cheeger_small: 2 <= n <= 24");
+  }
+  const auto inflow = circulation_inflow(d, pi);
+  const double total_flow =
+      std::accumulate(inflow.begin(), inflow.end(), 0.0);
+
+  // Enumerate subsets containing vertex 0 (complement symmetry in the
+  // denominator covers the rest); bits == subsets-1 would be the full set,
+  // which has no boundary, so it is excluded.
+  double best = std::numeric_limits<double>::infinity();
+  const std::uint32_t subsets = 1u << (n - 1);  // vertex 0 fixed inside S
+  for (std::uint32_t bits = 0; bits < subsets - 1; ++bits) {
+    std::uint32_t mask = 1;
+    for (std::uint32_t i = 0; i + 1 < n; ++i) {
+      if ((bits >> i) & 1u) mask |= (1u << (i + 1));
+    }
+
+    double f_s = 0.0;
+    double boundary = 0.0;
+    for (Vertex u = 0; u < n; ++u) {
+      const bool u_in = (mask >> u) & 1u;
+      if (u_in) f_s += inflow[u];
+      const auto targets = d.out_neighbors(u);
+      const auto weights = d.out_weights(u);
+      const double total = d.out_weight_total(u);
+      for (std::size_t i = 0; i < targets.size(); ++i) {
+        const bool v_in = (mask >> targets[i]) & 1u;
+        if (u_in && !v_in) boundary += pi[u] * weights[i] / total;
+      }
+    }
+    const double denom = std::min(f_s, total_flow - f_s);
+    if (denom <= 0.0) continue;
+    best = std::min(best, boundary / denom);
+  }
+  return best;
+}
+
+double directed_laplacian_lambda2(const Digraph& d,
+                                  const std::vector<double>& pi) {
+  check_pi(d, pi);
+  const std::uint32_t n = d.num_vertices();
+  if (n > 512) {
+    throw std::invalid_argument("directed_laplacian_lambda2: n too large");
+  }
+  for (const double p : pi) {
+    if (!(p > 0.0)) {
+      throw std::invalid_argument("directed_laplacian_lambda2: pi must be > 0");
+    }
+  }
+  const numeric::Matrix p = transition_matrix(d);
+  // L = I - (Pi^{1/2} P Pi^{-1/2} + transpose) / 2.
+  numeric::Matrix l(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const double sym =
+          0.5 * (std::sqrt(pi[i] / pi[j]) * p.at(i, j) +
+                 std::sqrt(pi[j] / pi[i]) * p.at(j, i));
+      l.at(i, j) = (i == j ? 1.0 : 0.0) - sym;
+    }
+  }
+  const auto eigenvalues = numeric::symmetric_eigenvalues(l);
+  // Smallest is ~0 (the stationary direction); return the next one.
+  return eigenvalues.size() > 1 ? eigenvalues[1] : 0.0;
+}
+
+DirectedCheegerReport directed_cheeger_report(const Digraph& d,
+                                              const std::vector<double>& pi) {
+  DirectedCheegerReport report;
+  report.cheeger = directed_cheeger_small(d, pi);
+  report.lambda2 = directed_laplacian_lambda2(d, pi);
+  const double h = report.cheeger;
+  report.sandwich_holds = (2.0 * h + 1e-9 >= report.lambda2) &&
+                          (report.lambda2 + 1e-9 >= h * h / 2.0);
+  return report;
+}
+
+}  // namespace cobra::graph

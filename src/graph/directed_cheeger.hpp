@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+/// \file directed_cheeger.hpp
+/// Chung's directed-graph Cheeger machinery, exactly as §4 of the paper
+/// uses it (its equations (1)-(2), citing Chung, "Laplacians and the
+/// Cheeger inequality for directed graphs", 2005):
+///
+///   * the circulation F_pi(u, v) = pi(u) P(u, v) of the stationary
+///     distribution;
+///   * the directed Cheeger constant
+///       h(D) = min_S F(dS) / min(F(S), F(S_complement)),
+///     with F(v) = sum of in-flow and F(S) the sum over S;
+///   * the directed Laplacian
+///       L = I - (Pi^{1/2} P Pi^{-1/2} + Pi^{-1/2} P^T Pi^{1/2}) / 2,
+///     whose second-smallest eigenvalue lambda satisfies
+///       2 h(D) >= lambda >= h(D)^2 / 2.
+///
+/// Exact computation (subset enumeration and dense eigensolve) is provided
+/// for small chains — enough to validate the inequality chain the paper's
+/// Theorem 8 rests on, including the h(D(G x G)) >= Phi / (4 d^2) step.
+
+namespace cobra::graph {
+
+/// Stationary circulation F(u, v) summed into per-vertex in-flows F(v),
+/// given the chain's stationary distribution `pi` (must match the digraph's
+/// vertex count and the transition structure). Returns F(v) per vertex.
+[[nodiscard]] std::vector<double> circulation_inflow(
+    const Digraph& d, const std::vector<double>& pi);
+
+/// Exact directed Cheeger constant by subset enumeration; requires
+/// 2 <= n <= 24. `pi` is the chain's stationary distribution.
+[[nodiscard]] double directed_cheeger_small(const Digraph& d,
+                                            const std::vector<double>& pi);
+
+/// Second-smallest eigenvalue of Chung's directed Laplacian (dense
+/// symmetric eigensolve; n <= ~512). `pi` must be strictly positive.
+[[nodiscard]] double directed_laplacian_lambda2(const Digraph& d,
+                                                const std::vector<double>& pi);
+
+/// Convenience bundle: h, lambda, and whether Chung's sandwich
+/// 2h >= lambda >= h^2/2 holds (it must, up to numerical slack).
+struct DirectedCheegerReport {
+  double cheeger = 0.0;
+  double lambda2 = 0.0;
+  bool sandwich_holds = false;
+};
+[[nodiscard]] DirectedCheegerReport directed_cheeger_report(
+    const Digraph& d, const std::vector<double>& pi);
+
+}  // namespace cobra::graph

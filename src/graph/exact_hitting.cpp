@@ -1,0 +1,88 @@
+#include "graph/exact_hitting.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "numeric/dense.hpp"
+
+namespace cobra::graph {
+
+std::vector<double> exact_rw_hitting_times(const Graph& g, Vertex target) {
+  const std::uint32_t n = g.num_vertices();
+  if (target >= n) throw std::out_of_range("exact_rw_hitting_times: target");
+  if (n > 4096) {
+    throw std::invalid_argument("exact_rw_hitting_times: n too large for dense");
+  }
+  if (n == 0) return {};
+  if (g.min_degree() == 0 || !is_connected(g)) {
+    throw std::invalid_argument("exact_rw_hitting_times: connected graph only");
+  }
+  if (n == 1) return {0.0};
+
+  // Unknowns: h(x) for x != target, indexed by skipping the target.
+  auto compact = [&](Vertex v) -> std::size_t {
+    return v < target ? v : static_cast<std::size_t>(v) - 1;
+  };
+  const std::size_t m = n - 1;
+  numeric::Matrix a(m);
+  std::vector<double> b(m, 1.0);
+  for (Vertex x = 0; x < n; ++x) {
+    if (x == target) continue;
+    const std::size_t row = compact(x);
+    a.at(row, row) += 1.0;
+    const double inv_deg = 1.0 / g.degree(x);
+    for (const Vertex y : g.neighbors(x)) {
+      if (y == target) continue;  // h(target) = 0 contributes nothing
+      a.at(row, compact(y)) -= inv_deg;
+    }
+  }
+  const std::vector<double> h = numeric::solve_linear(a, b);
+
+  std::vector<double> full(n, 0.0);
+  for (Vertex x = 0; x < n; ++x) {
+    if (x != target) full[x] = h[compact(x)];
+  }
+  return full;
+}
+
+double exact_rw_return_time(const Graph& g, Vertex v) {
+  if (v >= g.num_vertices()) throw std::out_of_range("exact_rw_return_time");
+  if (g.degree(v) == 0) {
+    throw std::invalid_argument("exact_rw_return_time: isolated vertex");
+  }
+  // pi(v) = d(v) / 2m  =>  R(v) = 1/pi(v) = 2m / d(v).
+  return static_cast<double>(g.volume()) / static_cast<double>(g.degree(v));
+}
+
+double exact_rw_max_hitting_to(const Graph& g, Vertex target) {
+  const auto h = exact_rw_hitting_times(g, target);
+  double best = 0.0;
+  for (const double value : h) best = std::max(best, value);
+  return best;
+}
+
+ExactHmax exact_rw_hmax(const Graph& g) {
+  ExactHmax result;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto h = exact_rw_hitting_times(g, v);
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      if (h[u] > result.hmax) {
+        result.hmax = h[u];
+        result.argmax_from = u;
+        result.argmax_to = v;
+      }
+    }
+  }
+  return result;
+}
+
+double matthews_upper_bound(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  if (n < 2) return 0.0;
+  double harmonic = 0.0;
+  for (std::uint32_t k = 1; k < n; ++k) harmonic += 1.0 / k;
+  return exact_rw_hmax(g).hmax * harmonic;
+}
+
+}  // namespace cobra::graph

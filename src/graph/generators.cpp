@@ -1,0 +1,423 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/grid_coords.hpp"
+#include "rng/distributions.hpp"
+
+namespace cobra::graph {
+
+Graph make_path(std::uint32_t n) {
+  if (n < 1) throw std::invalid_argument("make_path: n >= 1");
+  GraphBuilder b(n);
+  b.reserve(n - 1);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph make_cycle(std::uint32_t n) {
+  if (n < 3) throw std::invalid_argument("make_cycle: n >= 3");
+  GraphBuilder b(n);
+  b.reserve(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph make_complete(std::uint32_t n) {
+  if (n < 1) throw std::invalid_argument("make_complete: n >= 1");
+  GraphBuilder b(n);
+  b.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph make_star(std::uint32_t n) {
+  if (n < 2) throw std::invalid_argument("make_star: n >= 2");
+  GraphBuilder b(n);
+  b.reserve(n - 1);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph make_grid(std::uint32_t dimensions, std::uint32_t side, bool torus) {
+  if (dimensions < 1) throw std::invalid_argument("make_grid: dimensions >= 1");
+  if (side < 2) throw std::invalid_argument("make_grid: side >= 2");
+  const GridCoords coords(dimensions, side);
+  const std::uint32_t n = coords.num_points();
+
+  GraphBuilder b(n);
+  b.reserve(static_cast<std::size_t>(n) * dimensions);
+  std::vector<std::uint32_t> c(dimensions, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    // Emit the +1 edge along every axis; the -1 edges are emitted by the
+    // lower-coordinate endpoint, so each undirected edge appears once.
+    for (std::uint32_t axis = 0; axis < dimensions; ++axis) {
+      if (c[axis] + 1 < side) {
+        b.add_edge(v, static_cast<Vertex>(v + coords.stride(axis)));
+      } else if (torus && side > 2) {
+        // Wrap edge from the last point back to coordinate 0. side == 2
+        // is excluded: the wrap edge would duplicate the +1 edge.
+        b.add_edge(v, static_cast<Vertex>(
+                          v - (static_cast<std::uint64_t>(side) - 1) *
+                                  coords.stride(axis)));
+      }
+    }
+    // Increment mixed-radix counter (row-major: last axis fastest).
+    for (std::uint32_t axis = dimensions; axis-- > 0;) {
+      if (++c[axis] < side) break;
+      c[axis] = 0;
+    }
+  }
+  return b.build();
+}
+
+Graph make_hypercube(std::uint32_t dimensions) {
+  if (dimensions < 1 || dimensions > 31) {
+    throw std::invalid_argument("make_hypercube: 1 <= dimensions <= 31");
+  }
+  const std::uint32_t n = 1u << dimensions;
+  GraphBuilder b(n);
+  b.reserve(static_cast<std::size_t>(n) * dimensions / 2);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t bit = 0; bit < dimensions; ++bit) {
+      const Vertex u = v ^ (1u << bit);
+      if (v < u) b.add_edge(v, u);
+    }
+  }
+  return b.build();
+}
+
+Graph make_kary_tree(std::uint32_t arity, std::uint32_t levels) {
+  if (arity < 1) throw std::invalid_argument("make_kary_tree: arity >= 1");
+  if (levels < 1) throw std::invalid_argument("make_kary_tree: levels >= 1");
+  // n = 1 + k + k^2 + ... + k^(levels-1)
+  std::uint64_t n = 0, layer = 1;
+  for (std::uint32_t l = 0; l < levels; ++l) {
+    n += layer;
+    layer *= arity;
+    if (n > (1ull << 32)) {
+      throw std::invalid_argument("make_kary_tree: tree exceeds 2^32 vertices");
+    }
+  }
+  const auto total = static_cast<std::uint32_t>(n);
+  GraphBuilder b(total);
+  b.reserve(total - 1);
+  // In BFS order, the children of vertex v are arity*v + 1 ... arity*v + arity.
+  for (Vertex v = 0; v < total; ++v) {
+    for (std::uint32_t c = 1; c <= arity; ++c) {
+      const std::uint64_t child = static_cast<std::uint64_t>(arity) * v + c;
+      if (child >= total) break;
+      b.add_edge(v, static_cast<Vertex>(child));
+    }
+  }
+  return b.build();
+}
+
+Graph make_lollipop(std::uint32_t clique_size, std::uint32_t path_length) {
+  if (clique_size < 2) throw std::invalid_argument("make_lollipop: clique >= 2");
+  const std::uint32_t n = clique_size + path_length;
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < clique_size; ++u) {
+    for (Vertex v = u + 1; v < clique_size; ++v) b.add_edge(u, v);
+  }
+  // Path hangs off the last clique vertex.
+  for (Vertex v = clique_size; v < n; ++v) b.add_edge(v - 1, v);
+  return b.build();
+}
+
+Graph make_barbell(std::uint32_t clique_size, std::uint32_t path_length) {
+  if (clique_size < 2) throw std::invalid_argument("make_barbell: clique >= 2");
+  const std::uint32_t n = 2 * clique_size + path_length;
+  GraphBuilder b(n);
+  // Left clique on [0, clique_size), right clique on [clique_size + path,
+  // n); the path occupies the middle ids.
+  for (Vertex u = 0; u < clique_size; ++u) {
+    for (Vertex v = u + 1; v < clique_size; ++v) b.add_edge(u, v);
+  }
+  const Vertex right_base = clique_size + path_length;
+  for (Vertex u = right_base; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  // Chain: last left-clique vertex - path vertices - first right-clique vertex.
+  Vertex prev = clique_size - 1;
+  for (Vertex v = clique_size; v < right_base; ++v) {
+    b.add_edge(prev, v);
+    prev = v;
+  }
+  b.add_edge(prev, right_base);
+  return b.build();
+}
+
+Graph make_random_regular(rng::Xoshiro256& gen, std::uint32_t n,
+                          std::uint32_t degree, std::uint32_t max_attempts) {
+  if (degree >= n) throw std::invalid_argument("make_random_regular: d < n");
+  if ((static_cast<std::uint64_t>(n) * degree) % 2 != 0) {
+    throw std::invalid_argument("make_random_regular: n*d must be even");
+  }
+  // Configuration model with edge-swap repair. A raw uniform pairing of the
+  // n*d half-edge stubs contains Θ(d^2) self-loops and parallel edges in
+  // expectation, so retry-until-simple is hopeless beyond small d (success
+  // probability ~ e^{-(d^2-1)/4}). Instead we repair: every defective edge
+  // is double-swapped with a uniformly random partner edge, which preserves
+  // the degree sequence exactly and (by the standard switching argument)
+  // leaves the distribution asymptotically uniform over simple d-regular
+  // graphs — amply uniform for our purposes, since the experiments measure
+  // conductance on the realized graph rather than assuming it.
+  std::vector<Vertex> stubs(static_cast<std::size_t>(n) * degree);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::fill_n(stubs.begin() + static_cast<std::ptrdiff_t>(v) * degree, degree,
+                v);
+  }
+  rng::shuffle(gen, std::span<Vertex>(stubs));
+
+  const std::size_t num_edges = stubs.size() / 2;
+  std::vector<std::pair<Vertex, Vertex>> edges(num_edges);
+  std::set<std::pair<Vertex, Vertex>> present;  // canonical forms of clean edges
+  std::vector<char> bad(num_edges, 0);
+  auto canonical = [](Vertex a, Vertex b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  };
+  std::vector<std::size_t> defective;
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    edges[i] = {stubs[2 * i], stubs[2 * i + 1]};
+    const auto [a, b] = edges[i];
+    // A defective edge (self-loop, or duplicate copy of an edge already in
+    // `present`) owns no entry in `present`.
+    if (a == b || !present.insert(canonical(a, b)).second) {
+      bad[i] = 1;
+      defective.push_back(i);
+    }
+  }
+
+  // Each pass re-swaps the remaining defective edges against random clean
+  // partners: defective (u,v) + clean (x,y) -> (u,x) + (v,y), accepted only
+  // when both new edges are loop-free and previously absent. Degrees are
+  // preserved by construction.
+  for (std::uint32_t pass = 0; pass < max_attempts && !defective.empty();
+       ++pass) {
+    std::vector<std::size_t> still_bad;
+    for (const std::size_t i : defective) {
+      const auto [u, v] = edges[i];
+      const auto j =
+          static_cast<std::size_t>(rng::uniform_below(gen, num_edges));
+      const auto [x, y] = edges[j];
+      if (j == i || bad[j] != 0 || u == x || v == y ||
+          canonical(u, x) == canonical(v, y) ||
+          present.contains(canonical(u, x)) ||
+          present.contains(canonical(v, y))) {
+        still_bad.push_back(i);
+        continue;
+      }
+      // Defective edge i owns no `present` entry; clean partner j does.
+      present.erase(canonical(x, y));
+      present.insert(canonical(u, x));
+      present.insert(canonical(v, y));
+      edges[i] = {u, x};
+      edges[j] = {v, y};
+      bad[i] = 0;
+    }
+    defective.swap(still_bad);
+  }
+  if (!defective.empty()) {
+    throw std::runtime_error(
+        "make_random_regular: repair failed; degree too large for n?");
+  }
+
+  GraphBuilder b(n);
+  b.reserve(num_edges);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph make_erdos_renyi(rng::Xoshiro256& gen, std::uint32_t n, double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("make_erdos_renyi: p in [0,1]");
+  GraphBuilder b(n);
+  if (p <= 0.0 || n < 2) return b.build();
+  if (p >= 1.0) return make_complete(n);
+
+  // Geometric skipping (Batagelj–Brandes): iterate only over present edges,
+  // O(n + m) instead of O(n^2).
+  const double log_q = std::log1p(-p);
+  std::uint64_t v = 1, w = static_cast<std::uint64_t>(-1);
+  const std::uint64_t total = n;
+  while (v < total) {
+    const double r = rng::uniform_unit(gen);
+    const auto skip =
+        static_cast<std::uint64_t>(std::floor(std::log1p(-r) / log_q));
+    w += 1 + skip;
+    while (w >= v && v < total) {
+      w -= v;
+      ++v;
+    }
+    if (v < total) {
+      b.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(w));
+    }
+  }
+  return b.build();
+}
+
+Graph make_chung_lu_power_law(rng::Xoshiro256& gen, std::uint32_t n, double gamma,
+                              double min_deg) {
+  if (gamma <= 1.0) throw std::invalid_argument("make_chung_lu: gamma > 1");
+  if (n < 2) throw std::invalid_argument("make_chung_lu: n >= 2");
+
+  // Expected weights w_i = min_deg * (n / (i+1))^{1/(gamma-1)}, the standard
+  // Chung-Lu power-law parameterization. Cap at sqrt(sum_w) so that
+  // probabilities min(1, w_u w_v / W) stay proper.
+  std::vector<double> weights(n);
+  const double inv_exp = 1.0 / (gamma - 1.0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    weights[i] = min_deg * std::pow(static_cast<double>(n) /
+                                        static_cast<double>(i + 1),
+                                    inv_exp);
+  }
+  double total_weight = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double cap = std::sqrt(total_weight);
+  for (double& w : weights) w = std::min(w, cap);
+  total_weight = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  // Miller–Hagberg skip sampling (efficient Chung–Lu): weights are
+  // non-increasing, so for fixed u the pair probability p(u, v) is
+  // non-increasing in v. Walk v with geometric skips under the current
+  // majorizer p, thinning each candidate by the exact ratio q/p.
+  GraphBuilder b(n);
+  for (std::uint32_t u = 0; u + 1 < n; ++u) {
+    const double base = weights[u] / total_weight;
+    std::uint32_t v = u + 1;
+    double p = std::min(1.0, base * weights[v]);
+    while (v < n && p > 0.0) {
+      if (p < 1.0) {
+        const double r = rng::uniform_unit(gen);
+        const double skip = std::floor(std::log1p(-r) / std::log1p(-p));
+        if (skip >= static_cast<double>(n)) break;
+        v += static_cast<std::uint32_t>(skip);
+      }
+      if (v >= n) break;
+      const double q = std::min(1.0, base * weights[v]);
+      if (rng::uniform_unit(gen) < q / p) b.add_edge(u, v);
+      p = q;
+      ++v;
+    }
+  }
+  b.simplify();
+  return b.build();
+}
+
+Graph make_barabasi_albert(rng::Xoshiro256& gen, std::uint32_t n,
+                           std::uint32_t attach_edges) {
+  if (attach_edges < 1) throw std::invalid_argument("make_ba: attach_edges >= 1");
+  if (n < attach_edges + 1) {
+    throw std::invalid_argument("make_ba: n must exceed attach_edges");
+  }
+  GraphBuilder b(n);
+  // Repeated-endpoint list: sampling a uniform element of `endpoints` is
+  // exactly degree-proportional sampling.
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(2ull * n * attach_edges);
+
+  const std::uint32_t seed_size = attach_edges + 1;
+  for (Vertex u = 0; u < seed_size; ++u) {
+    for (Vertex v = u + 1; v < seed_size; ++v) {
+      b.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<Vertex> chosen;
+  chosen.reserve(attach_edges);
+  for (Vertex v = seed_size; v < n; ++v) {
+    chosen.clear();
+    // Sample distinct targets preferentially; rejection on duplicates.
+    while (chosen.size() < attach_edges) {
+      const Vertex candidate = endpoints[static_cast<std::size_t>(
+          rng::uniform_below(gen, endpoints.size()))];
+      if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+        chosen.push_back(candidate);
+      }
+    }
+    for (const Vertex target : chosen) {
+      b.add_edge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return b.build();
+}
+
+Graph make_random_geometric(rng::Xoshiro256& gen, std::uint32_t n, double radius) {
+  if (radius <= 0.0 || radius > 1.5) {
+    throw std::invalid_argument("make_random_geometric: radius in (0, 1.5]");
+  }
+  std::vector<double> xs(n), ys(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    xs[i] = rng::uniform_unit(gen);
+    ys[i] = rng::uniform_unit(gen);
+  }
+  // Cell grid of side `radius`: only points in the 3x3 neighborhood of a
+  // cell can be within `radius`.
+  const auto cells_per_axis =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(1.0 / radius));
+  const double cell_width = 1.0 / cells_per_axis;
+  std::vector<std::vector<Vertex>> cells(
+      static_cast<std::size_t>(cells_per_axis) * cells_per_axis);
+  auto cell_of = [&](std::uint32_t i) {
+    auto cx = static_cast<std::uint32_t>(xs[i] / cell_width);
+    auto cy = static_cast<std::uint32_t>(ys[i] / cell_width);
+    cx = std::min(cx, cells_per_axis - 1);
+    cy = std::min(cy, cells_per_axis - 1);
+    return std::pair{cx, cy};
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(i);
+    cells[static_cast<std::size_t>(cy) * cells_per_axis + cx].push_back(i);
+  }
+  const double r2 = radius * radius;
+  GraphBuilder b(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(i);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
+        const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
+        if (nx < 0 || ny < 0 || nx >= cells_per_axis || ny >= cells_per_axis) {
+          continue;
+        }
+        for (const Vertex j :
+             cells[static_cast<std::size_t>(ny) * cells_per_axis +
+                   static_cast<std::size_t>(nx)]) {
+          if (j <= i) continue;  // emit each pair once
+          const double ddx = xs[i] - xs[j];
+          const double ddy = ys[i] - ys[j];
+          if (ddx * ddx + ddy * ddy <= r2) b.add_edge(i, j);
+        }
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph make_double_clique(std::uint32_t clique_size) {
+  if (clique_size < 2) throw std::invalid_argument("make_double_clique: size >= 2");
+  const std::uint32_t n = 2 * clique_size - 1;  // shared cut vertex
+  GraphBuilder b(n);
+  const Vertex cut = clique_size - 1;
+  for (Vertex u = 0; u <= cut; ++u) {
+    for (Vertex v = u + 1; v <= cut; ++v) b.add_edge(u, v);
+  }
+  for (Vertex u = cut; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+}  // namespace cobra::graph

@@ -1,0 +1,74 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cobra::graph {
+
+Graph::Graph(std::uint32_t num_vertices, std::vector<EdgeIndex> offsets,
+             std::vector<Vertex> targets)
+    : n_(num_vertices), offsets_(std::move(offsets)), targets_(std::move(targets)) {
+  if (offsets_.size() != static_cast<std::size_t>(n_) + 1) {
+    throw std::invalid_argument("Graph: offsets size must be n + 1");
+  }
+  if (offsets_.front() != 0 || offsets_.back() != targets_.size()) {
+    throw std::invalid_argument("Graph: offsets must span [0, targets.size()]");
+  }
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i) {
+    if (offsets_[i] > offsets_[i + 1]) {
+      throw std::invalid_argument("Graph: offsets must be non-decreasing");
+    }
+  }
+  for (const Vertex t : targets_) {
+    if (t >= n_) throw std::invalid_argument("Graph: target vertex out of range");
+  }
+  // Undirectedness (arc symmetry) is enforced by GraphBuilder, which is the
+  // only production path into this constructor; re-verifying here would be
+  // O(m log m) on every build. Tests cover the builder's symmetry guarantee.
+}
+
+std::uint32_t Graph::min_degree() const noexcept {
+  std::uint32_t best = n_ == 0 ? 0 : ~0U;
+  for (Vertex v = 0; v < n_; ++v) best = std::min(best, degree(v));
+  return best;
+}
+
+std::uint32_t Graph::max_degree() const noexcept {
+  std::uint32_t best = 0;
+  for (Vertex v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+double Graph::average_degree() const noexcept {
+  if (n_ == 0) return 0.0;
+  return static_cast<double>(targets_.size()) / static_cast<double>(n_);
+}
+
+bool Graph::is_regular() const noexcept {
+  if (n_ == 0) return true;
+  const std::uint32_t d = degree(0);
+  for (Vertex v = 1; v < n_; ++v) {
+    if (degree(v) != d) return false;
+  }
+  return true;
+}
+
+bool Graph::is_simple() const {
+  for (Vertex v = 0; v < n_; ++v) {
+    std::unordered_set<Vertex> seen;
+    for (const Vertex u : neighbors(v)) {
+      if (u == v) return false;                  // self-loop
+      if (!seen.insert(u).second) return false;  // parallel edge
+    }
+  }
+  return true;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  if (u >= n_ || v >= n_) return false;
+  const auto nbrs = neighbors(u);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+}  // namespace cobra::graph

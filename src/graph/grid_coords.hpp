@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+/// \file grid_coords.hpp
+/// Coordinate arithmetic for the d-dimensional grid [0, side-1]^d (the
+/// paper's [0, n]^d with side = n + 1 points per axis). Vertices are stored
+/// in row-major mixed-radix order; this header provides the bijection
+/// between linear ids and coordinate vectors plus Manhattan distance, which
+/// the grid experiments use to track the drift argument of Theorem 3.
+
+namespace cobra::graph {
+
+class GridCoords {
+ public:
+  /// A grid with `dims` axes, axis i having extent `extents[i]` points.
+  /// Total vertex count is the product of extents; it must fit in 32 bits.
+  explicit GridCoords(std::vector<std::uint32_t> extents);
+
+  /// Uniform extent convenience: d axes of `side` points each.
+  GridCoords(std::uint32_t dimensions, std::uint32_t side);
+
+  [[nodiscard]] std::uint32_t dimensions() const noexcept {
+    return static_cast<std::uint32_t>(extents_.size());
+  }
+  [[nodiscard]] std::uint32_t extent(std::uint32_t axis) const {
+    return extents_.at(axis);
+  }
+  [[nodiscard]] std::uint32_t num_points() const noexcept { return total_; }
+
+  /// Linear id -> coordinates.
+  [[nodiscard]] std::vector<std::uint32_t> coords(Vertex id) const;
+
+  /// Coordinates -> linear id. Size must match dimensions; each coordinate
+  /// must be within its extent (throws std::out_of_range otherwise).
+  [[nodiscard]] Vertex id(std::span<const std::uint32_t> coordinates) const;
+
+  /// Manhattan (L1) distance between two vertices.
+  [[nodiscard]] std::uint64_t manhattan(Vertex a, Vertex b) const;
+
+  /// Per-axis stride of the row-major layout (tests and generators use it).
+  [[nodiscard]] std::uint64_t stride(std::uint32_t axis) const {
+    return strides_.at(axis);
+  }
+
+ private:
+  std::vector<std::uint32_t> extents_;
+  std::vector<std::uint64_t> strides_;
+  std::uint32_t total_ = 0;
+};
+
+}  // namespace cobra::graph

@@ -1,0 +1,103 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cobra::graph {
+
+std::vector<std::uint64_t> degree_histogram(const Graph& g) {
+  std::vector<std::uint64_t> histogram(g.max_degree() + 1, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) ++histogram[g.degree(v)];
+  return histogram;
+}
+
+namespace {
+
+/// Triangles through v, counted by intersecting sorted adjacency lists of
+/// its neighbor pairs (each triangle through v counted once).
+std::uint64_t triangles_through(const Graph& g, Vertex v) {
+  const auto nbrs = g.neighbors(v);
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+      // Adjacency lists are sorted: binary search.
+      const auto list = g.neighbors(nbrs[i]);
+      if (std::binary_search(list.begin(), list.end(), nbrs[j])) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double local_clustering(const Graph& g, Vertex v) {
+  const std::uint64_t d = g.degree(v);
+  if (d < 2) return 0.0;
+  const double possible = static_cast<double>(d) * (d - 1) / 2.0;
+  return static_cast<double>(triangles_through(g, v)) / possible;
+}
+
+double average_clustering(const Graph& g) {
+  if (g.num_vertices() == 0) return 0.0;
+  double total = 0.0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) total += local_clustering(g, v);
+  return total / g.num_vertices();
+}
+
+std::uint64_t triangle_count(const Graph& g) {
+  std::uint64_t total = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) total += triangles_through(g, v);
+  return total / 3;  // each triangle seen from its three corners
+}
+
+double global_clustering(const Graph& g) {
+  std::uint64_t triples = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    triples += d * (d - 1) / 2;
+  }
+  if (triples == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangle_count(g)) /
+         static_cast<double>(triples);
+}
+
+double degree_assortativity(const Graph& g) {
+  // Newman's formulation over directed arc endpoints (each undirected edge
+  // contributes both orientations, which symmetrizes the correlation).
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  std::uint64_t arcs = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const double dv = g.degree(v);
+    for (const Vertex u : g.neighbors(v)) {
+      const double du = g.degree(u);
+      sum_xy += dv * du;
+      sum_x += dv;
+      sum_x2 += dv * dv;
+      ++arcs;
+    }
+  }
+  if (arcs == 0) return 0.0;
+  const double n = static_cast<double>(arcs);
+  const double mean = sum_x / n;
+  const double covariance = sum_xy / n - mean * mean;
+  const double variance = sum_x2 / n - mean * mean;
+  if (variance <= 1e-15) return 0.0;  // regular graph: undefined -> 0
+  return covariance / variance;
+}
+
+double hill_tail_exponent(const Graph& g, std::uint32_t degree_min) {
+  if (degree_min < 1) return 0.0;
+  double log_sum = 0.0;
+  std::uint64_t count = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t d = g.degree(v);
+    if (d >= degree_min) {
+      log_sum += std::log(static_cast<double>(d) / degree_min);
+      ++count;
+    }
+  }
+  if (count < 10 || log_sum <= 0.0) return 0.0;
+  return 1.0 + static_cast<double>(count) / log_sum;
+}
+
+}  // namespace cobra::graph

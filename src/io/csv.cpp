@@ -1,0 +1,46 @@
+#include "io/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cobra::io {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quoting =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return cell;
+  std::string quoted = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_header(const std::vector<std::string>& names) {
+  write_row(names);
+}
+
+void CsvWriter::write_values(const std::vector<double>& values) {
+  std::ostringstream line;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) line << ',';
+    line << values[i];
+  }
+  out_ << line.str() << '\n';
+}
+
+}  // namespace cobra::io

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+/// \file csv.hpp
+/// Minimal RFC-4180-ish CSV writer so experiment sweeps can be exported for
+/// external plotting. Cells containing commas, quotes, or newlines are
+/// quoted; everything else is written verbatim.
+
+namespace cobra::io {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// failure to open.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row. Each cell is escaped as needed.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: header row then rows of doubles.
+  void write_header(const std::vector<std::string>& names);
+  void write_values(const std::vector<double>& values);
+
+  /// Escape a single cell per RFC 4180 (exposed for tests).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace cobra::io

@@ -1,0 +1,88 @@
+#include "io/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "graph/builder.hpp"
+
+namespace cobra::io {
+
+namespace {
+
+/// Next content line (skipping comments/blank); false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;  // blank
+    if (line[first] == '#') continue;          // comment
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+graph::Graph read_edge_list(std::istream& in) {
+  std::string line;
+  if (!next_content_line(in, line)) {
+    throw std::invalid_argument("read_edge_list: missing header line");
+  }
+  std::istringstream header(line);
+  std::int64_t n = -1;
+  header >> n;
+  std::string junk;
+  if (header.fail() || n < 0 || (header >> junk)) {
+    throw std::invalid_argument("read_edge_list: bad header: " + line);
+  }
+
+  graph::GraphBuilder builder(static_cast<std::uint32_t>(n));
+  while (next_content_line(in, line)) {
+    std::istringstream edge(line);
+    std::int64_t u = -1, v = -1;
+    edge >> u >> v;
+    if (edge.fail() || (edge >> junk)) {
+      throw std::invalid_argument("read_edge_list: bad edge line: " + line);
+    }
+    if (u < 0 || v < 0 || u >= n || v >= n) {
+      throw std::invalid_argument("read_edge_list: endpoint out of range: " +
+                                  line);
+    }
+    builder.add_edge(static_cast<graph::Vertex>(u),
+                     static_cast<graph::Vertex>(v));
+  }
+  return builder.build();
+}
+
+graph::Graph load_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_edge_list: cannot open " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const graph::Graph& g) {
+  out << "# cobra edge list: <n> header, then one undirected edge per line\n";
+  out << g.num_vertices() << "\n";
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::uint32_t self_arcs = 0;
+    for (const graph::Vertex u : g.neighbors(v)) {
+      if (u == v) {
+        ++self_arcs;  // stored as two arcs per loop
+      } else if (v < u) {
+        out << v << " " << u << "\n";
+      }
+    }
+    for (std::uint32_t loop = 0; loop < self_arcs / 2; ++loop) {
+      out << v << " " << v << "\n";
+    }
+  }
+}
+
+void save_edge_list(const std::string& path, const graph::Graph& g) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_edge_list: cannot open " + path);
+  write_edge_list(out, g);
+}
+
+}  // namespace cobra::io

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+/// \file graph_io.hpp
+/// Plain-text edge-list persistence so downstream users can run the
+/// simulators on their own networks. Format, one record per line:
+///
+///     # comment (also: empty lines are skipped)
+///     <num_vertices>            (header, first non-comment line)
+///     <u> <v>                   (one undirected edge per line)
+///
+/// Vertices are 0-based integers below num_vertices. Parallel edges and
+/// self-loops round-trip verbatim (the reader does not simplify; callers
+/// wanting simple graphs pass the result through GraphBuilder::simplify
+/// semantics by re-building).
+
+namespace cobra::io {
+
+/// Parse the edge-list format from a stream. Throws std::invalid_argument
+/// on malformed input (bad header, out-of-range endpoints, trailing junk).
+[[nodiscard]] graph::Graph read_edge_list(std::istream& in);
+
+/// Read from a file path; std::runtime_error if it cannot be opened.
+[[nodiscard]] graph::Graph load_edge_list(const std::string& path);
+
+/// Serialize in the same format (each undirected edge emitted once, from
+/// the lower endpoint; self-loops once).
+void write_edge_list(std::ostream& out, const graph::Graph& g);
+
+/// Write to a file path; std::runtime_error if it cannot be opened.
+void save_edge_list(const std::string& path, const graph::Graph& g);
+
+}  // namespace cobra::io

@@ -1,0 +1,10 @@
+#include "parallel/monte_carlo.hpp"
+
+namespace cobra::par {
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;  // hardware concurrency
+  return pool;
+}
+
+}  // namespace cobra::par

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <memory>
+
+#include "parallel/thread_pool.hpp"
+
+/// \file parallel_for.hpp
+/// Chunked parallel loops over index ranges, layered on ThreadPool.
+/// Two schedules are provided:
+///   * parallel_for        — static chunking; best when iterations are uniform
+///   * parallel_for_dynamic — atomic work-stealing counter; best when
+///     iteration cost varies wildly (e.g. cover-time trials whose length is
+///     itself the random variable under study).
+///
+/// Exceptions thrown by the body are captured and rethrown (first one wins)
+/// on the calling thread, so callers see normal C++ error flow.
+
+namespace cobra::par {
+
+namespace detail {
+
+/// Captures the first exception thrown by any worker.
+class ExceptionCollector {
+ public:
+  void capture() noexcept {
+    if (!armed_.exchange(true, std::memory_order_acq_rel)) {
+      exception_ = std::current_exception();
+    }
+  }
+
+  void rethrow_if_any() {
+    if (armed_.load(std::memory_order_acquire) && exception_) {
+      std::rethrow_exception(exception_);
+    }
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::exception_ptr exception_;
+};
+
+}  // namespace detail
+
+/// Apply body(i) for i in [begin, end) using static chunking over `pool`.
+/// body must be invocable as void(std::size_t) and thread-safe across
+/// distinct indices.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, Body&& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, pool.size() * 4);  // mild oversubscription
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  detail::ExceptionCollector errors;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    pool.submit([lo, hi, &body, &errors] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        errors.capture();
+      }
+    });
+  }
+  pool.wait_idle();
+  errors.rethrow_if_any();
+}
+
+/// Apply body(i) for i in [begin, end) with dynamic (self-scheduling)
+/// distribution: each worker repeatedly claims the next index from an atomic
+/// counter. Use when per-iteration cost is highly variable.
+template <typename Body>
+void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          Body&& body) {
+  if (begin >= end) return;
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  detail::ExceptionCollector errors;
+  const std::size_t workers = std::min(pool.size(), end - begin);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([next, end, &body, &errors] {
+      try {
+        for (;;) {
+          const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+          if (i >= end) return;
+          body(i);
+        }
+      } catch (...) {
+        errors.capture();
+      }
+    });
+  }
+  pool.wait_idle();
+  errors.rethrow_if_any();
+}
+
+}  // namespace cobra::par

@@ -1,0 +1,20 @@
+#include "rng/distributions.hpp"
+
+#include "rng/pcg32.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace cobra::rng {
+
+namespace {
+
+// The concept must admit the full-range engines and reject the bare 32-bit one.
+static_assert(Uint64Generator<SplitMix64>);
+static_assert(Uint64Generator<Xoshiro256>);
+static_assert(Uint64Generator<Pcg32x64>);
+static_assert(!Uint64Generator<Pcg32>,
+              "bare Pcg32 must not satisfy the full-range concept");
+
+}  // namespace
+
+}  // namespace cobra::rng

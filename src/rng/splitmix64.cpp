@@ -1,0 +1,29 @@
+#include "rng/splitmix64.hpp"
+
+// splitmix64 is fully constexpr in the header; this translation unit pins
+// compile-time sanity checks so a silent edit to the mixing constants that
+// degenerates the generator is caught at build time.
+
+namespace cobra::rng {
+
+namespace {
+
+// The first few outputs from a fixed seed must be pairwise distinct and
+// nonzero — a classic symptom of a broken finalizer is collapsing to 0.
+static_assert([] {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64_next(s);
+  const std::uint64_t b = splitmix64_next(s);
+  const std::uint64_t c = splitmix64_next(s);
+  return a != 0 && b != 0 && c != 0 && a != b && b != c && a != c;
+}(), "splitmix64 produced degenerate outputs");
+
+// Derived seeds for different stream indices must differ.
+static_assert(derive_seed(42, 0) != derive_seed(42, 1),
+              "derive_seed does not separate streams");
+static_assert(derive_seed(42, 0) != derive_seed(43, 0),
+              "derive_seed does not separate base seeds");
+
+}  // namespace
+
+}  // namespace cobra::rng

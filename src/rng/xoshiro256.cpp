@@ -1,0 +1,28 @@
+#include "rng/xoshiro256.hpp"
+
+namespace cobra::rng {
+
+namespace {
+
+// Build-time sanity: seeding never yields the all-zero fixed point, two
+// different seeds diverge, and jump() changes the state.
+static_assert([] {
+  Xoshiro256 g(0);
+  const auto s = g.state();
+  return (s[0] | s[1] | s[2] | s[3]) != 0;
+}(), "xoshiro256++ seeded into the all-zero fixed point");
+
+static_assert([] {
+  Xoshiro256 a(1), b(2);
+  return a() != b();
+}(), "xoshiro256++ seeds do not separate streams");
+
+static_assert([] {
+  Xoshiro256 a(7), b(7);
+  b.jump();
+  return a.state() != b.state();
+}(), "xoshiro256++ jump() is a no-op");
+
+}  // namespace
+
+}  // namespace cobra::rng

@@ -1,0 +1,58 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "stats/summary.hpp"
+
+namespace cobra::stats {
+
+BootstrapCI bootstrap_ci(std::span<const double> sample, const Statistic& statistic,
+                         double level, std::uint32_t resamples, std::uint64_t seed) {
+  BootstrapCI ci;
+  if (sample.empty()) return ci;
+  ci.point = statistic(sample);
+  if (sample.size() == 1 || resamples == 0) {
+    ci.lo = ci.hi = ci.point;
+    return ci;
+  }
+
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> resample(sample.size());
+  std::vector<double> replicates;
+  replicates.reserve(resamples);
+  for (std::uint32_t r = 0; r < resamples; ++r) {
+    for (double& slot : resample) {
+      slot = sample[static_cast<std::size_t>(
+          rng::uniform_below(gen, sample.size()))];
+    }
+    replicates.push_back(statistic(resample));
+  }
+  std::sort(replicates.begin(), replicates.end());
+  const double alpha = (1.0 - level) / 2.0;
+  ci.lo = quantile_sorted(replicates, alpha);
+  ci.hi = quantile_sorted(replicates, 1.0 - alpha);
+  return ci;
+}
+
+BootstrapCI bootstrap_mean_ci(std::span<const double> sample, double level,
+                              std::uint32_t resamples, std::uint64_t seed) {
+  return bootstrap_ci(sample, [](std::span<const double> s) { return mean_of(s); },
+                      level, resamples, seed);
+}
+
+BootstrapCI bootstrap_median_ci(std::span<const double> sample, double level,
+                                std::uint32_t resamples, std::uint64_t seed) {
+  return bootstrap_ci(
+      sample,
+      [](std::span<const double> s) {
+        std::vector<double> sorted(s.begin(), s.end());
+        std::sort(sorted.begin(), sorted.end());
+        return quantile_sorted(sorted, 0.5);
+      },
+      level, resamples, seed);
+}
+
+}  // namespace cobra::stats

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+/// \file bootstrap.hpp
+/// Nonparametric bootstrap confidence intervals. Cover-time distributions
+/// are right-skewed (occasionally a walk dawdles), so the normal-theory CI
+/// in summary.hpp can be optimistic for small trial counts; the percentile
+/// bootstrap gives a distribution-free cross-check used by the experiment
+/// harness whenever a claim rides on a CI.
+
+namespace cobra::stats {
+
+struct BootstrapCI {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  ///< statistic evaluated on the original sample
+};
+
+/// Statistic maps a resampled vector to a scalar (mean, median, ...).
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap CI at confidence `level` (e.g. 0.95) using
+/// `resamples` bootstrap replicates. Deterministic given `seed`.
+[[nodiscard]] BootstrapCI bootstrap_ci(std::span<const double> sample,
+                                       const Statistic& statistic,
+                                       double level = 0.95,
+                                       std::uint32_t resamples = 2000,
+                                       std::uint64_t seed = 0xB0075EEDULL);
+
+/// Convenience wrappers for the two most common statistics.
+[[nodiscard]] BootstrapCI bootstrap_mean_ci(std::span<const double> sample,
+                                            double level = 0.95,
+                                            std::uint32_t resamples = 2000,
+                                            std::uint64_t seed = 0xB0075EEDULL);
+[[nodiscard]] BootstrapCI bootstrap_median_ci(std::span<const double> sample,
+                                              double level = 0.95,
+                                              std::uint32_t resamples = 2000,
+                                              std::uint64_t seed = 0xB0075EEDULL);
+
+}  // namespace cobra::stats

@@ -1,0 +1,75 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cobra::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: requires hi > lo");
+  inv_width_ = static_cast<double>(bins) / (hi - lo);
+}
+
+Histogram Histogram::of(std::span<const double> sample, std::size_t bins) {
+  double lo = 0.0, hi = 1.0;
+  if (!sample.empty()) {
+    const auto [mn, mx] = std::minmax_element(sample.begin(), sample.end());
+    lo = *mn;
+    hi = *mx;
+    if (hi <= lo) hi = lo + 1.0;  // degenerate sample: widen artificially
+  }
+  Histogram h(lo, hi + (hi - lo) * 1e-9, bins);  // nudge so max lands inside
+  h.add_all(sample);
+  return h;
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) * inv_width_);
+  bin = std::min(bin, counts_.size() - 1);  // guard float roundoff at hi_
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) / inv_width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+std::size_t Histogram::mode_bin() const noexcept {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  return it == counts_.end() ? 0
+                             : static_cast<std::size_t>(it - counts_.begin());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  const std::size_t peak = counts_.empty() ? 0 : counts_[mode_bin()];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / peak;
+    out << "[" << bin_lo(b) << ", " << bin_hi(b) << ") "
+        << std::string(bar, '#') << " " << counts_[b] << "\n";
+  }
+  if (underflow_ > 0) out << "underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) out << "overflow: " << overflow_ << "\n";
+  return out.str();
+}
+
+}  // namespace cobra::stats

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+/// \file histogram.hpp
+/// Fixed-bin histogram for visualizing trial distributions (cover-time
+/// spread, active-set sizes) in terminal output. Cheap, allocation-once,
+/// and renderable as an ASCII bar chart — the library's stand-in for the
+/// figures a plotting stack would produce.
+
+namespace cobra::stats {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are counted in under/over
+  /// flow. Requires bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Convenience: bins spanning the min/max of `sample`, then adds it all.
+  static Histogram of(std::span<const double> sample, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Index of the fullest bin (0 if empty histogram).
+  [[nodiscard]] std::size_t mode_bin() const noexcept;
+
+  /// Render as an ASCII bar chart, `width` characters for the largest bar.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cobra::stats

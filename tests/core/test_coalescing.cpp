@@ -1,0 +1,103 @@
+#include "core/coalescing_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace cobra::core {
+namespace {
+
+using graph::make_complete;
+using graph::make_cycle;
+using graph::make_grid;
+
+TEST(Coalescing, DuplicatesMergeOnConstruction) {
+  const Graph g = make_cycle(10);
+  const std::vector<Vertex> starts{1, 1, 2, 3, 3, 3};
+  CoalescingWalks walks(g, starts);
+  EXPECT_EQ(walks.walker_count(), 3u);
+  EXPECT_EQ(walks.merges(), 3u);
+}
+
+TEST(Coalescing, WalkerCountNeverIncreases) {
+  const Graph g = make_grid(2, 5);
+  std::vector<Vertex> starts(10);
+  std::iota(starts.begin(), starts.end(), 0);
+  Engine gen(1);
+  CoalescingWalks walks(g, starts);
+  std::uint32_t prev = walks.walker_count();
+  for (int t = 0; t < 500; ++t) {
+    walks.step(gen);
+    EXPECT_LE(walks.walker_count(), prev);
+    EXPECT_GE(walks.walker_count(), 1u);
+    prev = walks.walker_count();
+  }
+}
+
+TEST(Coalescing, PositionsAlwaysDistinct) {
+  const Graph g = make_complete(20);
+  std::vector<Vertex> starts{0, 1, 2, 3, 4, 5, 6, 7};
+  Engine gen(2);
+  CoalescingWalks walks(g, starts);
+  for (int t = 0; t < 200; ++t) {
+    walks.step(gen);
+    const auto active = walks.active();
+    const std::set<Vertex> unique(active.begin(), active.end());
+    ASSERT_EQ(unique.size(), active.size());
+  }
+}
+
+TEST(Coalescing, EventuallySingleOnCompleteGraph) {
+  // On K_n coalescence is fast (meeting probability per step is high).
+  const Graph g = make_complete(16);
+  std::vector<Vertex> starts(16);
+  std::iota(starts.begin(), starts.end(), 0);
+  Engine gen(3);
+  CoalescingWalks walks(g, starts);
+  const std::uint64_t steps = walks.run_to_single(gen, 100000);
+  EXPECT_EQ(walks.walker_count(), 1u);
+  EXPECT_LT(steps, 100000u);
+  EXPECT_EQ(walks.merges(), 15u);
+}
+
+TEST(Coalescing, MergeCountAccountsForAllLosses) {
+  const Graph g = make_grid(2, 4);
+  std::vector<Vertex> starts{0, 3, 12, 15, 5, 10};
+  Engine gen(4);
+  CoalescingWalks walks(g, starts);
+  for (int t = 0; t < 1000; ++t) walks.step(gen);
+  EXPECT_EQ(walks.walker_count() + walks.merges(), starts.size());
+}
+
+TEST(Coalescing, SingleWalkerIsStable) {
+  const Graph g = make_cycle(8);
+  Engine gen(5);
+  CoalescingWalks walks(g, std::vector<Vertex>{4});
+  for (int t = 0; t < 100; ++t) {
+    walks.step(gen);
+    EXPECT_EQ(walks.walker_count(), 1u);
+  }
+  EXPECT_EQ(walks.merges(), 0u);
+}
+
+TEST(Coalescing, RunToSingleRespectsBudget) {
+  const Graph g = make_cycle(1000);
+  Engine gen(6);
+  CoalescingWalks walks(g, std::vector<Vertex>{0, 500});
+  const std::uint64_t steps = walks.run_to_single(gen, 10);
+  EXPECT_EQ(steps, 10u);
+  EXPECT_EQ(walks.walker_count(), 2u);
+}
+
+TEST(Coalescing, InvalidInput) {
+  const Graph g = make_cycle(5);
+  EXPECT_THROW(CoalescingWalks(g, std::vector<Vertex>{}), std::invalid_argument);
+  EXPECT_THROW(CoalescingWalks(g, std::vector<Vertex>{7}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,159 @@
+#include "core/cover_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cobra_walk.hpp"
+#include "core/random_walk.hpp"
+#include "graph/generators.hpp"
+
+namespace cobra::core {
+namespace {
+
+using graph::make_complete;
+using graph::make_cycle;
+using graph::make_grid;
+using graph::make_path;
+using graph::make_star;
+
+TEST(CoverageTracker, AbsorbCountsNewOnly) {
+  CoverageTracker tracker(5);
+  const std::vector<Vertex> a{0, 1, 1, 2};
+  EXPECT_EQ(tracker.absorb(a), 3u);
+  EXPECT_EQ(tracker.covered_count(), 3u);
+  const std::vector<Vertex> b{2, 3};
+  EXPECT_EQ(tracker.absorb(b), 1u);
+  EXPECT_EQ(tracker.covered_count(), 4u);
+  EXPECT_FALSE(tracker.complete());
+  const std::vector<Vertex> c{4};
+  tracker.absorb(c);
+  EXPECT_TRUE(tracker.complete());
+  EXPECT_DOUBLE_EQ(tracker.fraction(), 1.0);
+}
+
+TEST(CoverageTracker, Reset) {
+  CoverageTracker tracker(3);
+  const std::vector<Vertex> all{0, 1, 2};
+  tracker.absorb(all);
+  EXPECT_TRUE(tracker.complete());
+  tracker.reset();
+  EXPECT_EQ(tracker.covered_count(), 0u);
+  EXPECT_FALSE(tracker.is_covered(0));
+}
+
+TEST(CoverageTracker, EmptyGraphIsTriviallyComplete) {
+  CoverageTracker tracker(0);
+  EXPECT_TRUE(tracker.complete());
+  EXPECT_DOUBLE_EQ(tracker.fraction(), 1.0);
+}
+
+TEST(RunToCover, SingleVertexGraphIsRejected) {
+  // A one-vertex graph has no edges, so no walk can take a step; the
+  // constructor refuses it (isolated vertex) rather than stepping into UB.
+  const Graph g = make_path(1);
+  EXPECT_THROW(CobraWalk(g, 0, 2), std::invalid_argument);
+  // The two-vertex path is the smallest walkable graph and covers in 1 step.
+  const Graph g2 = make_path(2);
+  Engine gen(1);
+  CobraWalk walk(g2, 0, 2);
+  const CoverResult r = run_to_cover(walk, gen, 100);
+  EXPECT_TRUE(r.covered);
+  EXPECT_EQ(r.steps, 1u);
+}
+
+TEST(RunToCover, RespectsBudget) {
+  const Graph g = make_cycle(1000);
+  Engine gen(2);
+  RandomWalk walk(g, 0);
+  const CoverResult r = run_to_cover(walk, gen, 50);
+  EXPECT_FALSE(r.covered);
+  EXPECT_EQ(r.steps, 50u);
+  EXPECT_LT(r.covered_count, 1000u);
+  EXPECT_GE(r.covered_count, 1u);
+}
+
+TEST(RunToCover, CobraCoversSmallGrid) {
+  const Graph g = make_grid(2, 4);
+  Engine gen(3);
+  const CoverResult r = cobra_cover(g, 0, 2, gen);
+  EXPECT_TRUE(r.covered);
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_EQ(r.covered_count, 16u);
+}
+
+TEST(RunToCover, RandomWalkCoversCycle) {
+  const Graph g = make_cycle(12);
+  Engine gen(4);
+  const CoverResult r = random_walk_cover(g, 0, gen);
+  EXPECT_TRUE(r.covered);
+  // Cycle cover time is exactly n(n-1)/2 in expectation = 66; sanity range.
+  EXPECT_GT(r.steps, 10u);
+}
+
+TEST(RunToCover, CompleteGraphCoverIsCouponCollector) {
+  // Mean over trials should be near n * H_{n-1} ~ 12 * 3.02 ~ 36 for K12's
+  // random walk (self-transitions excluded, so slightly less); just check
+  // the scale.
+  const Graph g = make_complete(12);
+  Engine gen(5);
+  double total = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    const CoverResult r = random_walk_cover(g, 0, gen);
+    ASSERT_TRUE(r.covered);
+    total += static_cast<double>(r.steps);
+  }
+  const double mean = total / kTrials;
+  EXPECT_GT(mean, 20.0);
+  EXPECT_LT(mean, 50.0);
+}
+
+TEST(RunToCover, HigherBranchingCoversFaster) {
+  const Graph g = make_grid(2, 8);
+  Engine gen(6);
+  double k2_total = 0, k4_total = 0;
+  constexpr int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    k2_total += static_cast<double>(cobra_cover(g, 0, 2, gen).steps);
+    k4_total += static_cast<double>(cobra_cover(g, 0, 4, gen).steps);
+  }
+  EXPECT_LT(k4_total, k2_total);
+}
+
+TEST(RunToCover, WaltCoversWithManyPebbles) {
+  const Graph g = make_complete(20);
+  Engine gen(7);
+  const CoverResult r = walt_cover(g, 0, 10, true, gen);
+  EXPECT_TRUE(r.covered);
+}
+
+TEST(RunToCover, ParallelWalksCover) {
+  const Graph g = make_cycle(30);
+  Engine gen(8);
+  const CoverResult one = parallel_walks_cover(g, 0, 1, gen);
+  const CoverResult many = parallel_walks_cover(g, 0, 8, gen);
+  EXPECT_TRUE(one.covered);
+  EXPECT_TRUE(many.covered);
+}
+
+TEST(DefaultStepBudget, GenerousAndMonotone) {
+  EXPECT_GE(default_step_budget(1), 1u << 20);
+  EXPECT_GE(default_step_budget(100), 32ull * 100 * 100 * 100);
+  EXPECT_GT(default_step_budget(1000), default_step_budget(100));
+}
+
+TEST(RunToCover, InitialActiveSetCountsAsCovered) {
+  // Star covered from the hub with k = n-1 cobra: hub + all leaves sampled
+  // in one step typically; but regardless, step 0 must mark the hub.
+  const Graph g = make_star(5);
+  Engine gen(9);
+  CobraWalk walk(g, 0, 2);
+  CoverageTracker tracker(g.num_vertices());
+  tracker.absorb(walk.active());
+  EXPECT_TRUE(tracker.is_covered(0));
+  EXPECT_EQ(tracker.covered_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,150 @@
+#include "core/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cover_time.hpp"
+#include "graph/generators.hpp"
+
+namespace cobra::core {
+namespace {
+
+using graph::make_complete;
+using graph::make_cycle;
+using graph::make_path;
+using graph::make_star;
+
+TEST(Gossip, StartsWithOneInformed) {
+  const Graph g = make_cycle(10);
+  const Gossip gossip(g, 4);
+  EXPECT_EQ(gossip.informed_count(), 1u);
+  EXPECT_TRUE(gossip.is_informed(4));
+  EXPECT_FALSE(gossip.is_informed(5));
+  EXPECT_FALSE(gossip.complete());
+}
+
+TEST(Gossip, InformedSetGrowsMonotonically) {
+  const Graph g = make_complete(50);
+  Engine gen(1);
+  Gossip gossip(g, 0);
+  std::uint32_t prev = 1;
+  for (int t = 0; t < 30 && !gossip.complete(); ++t) {
+    gossip.step(gen);
+    EXPECT_GE(gossip.informed_count(), prev);
+    // Push at most doubles the informed set per round.
+    EXPECT_LE(gossip.informed_count(), 2 * prev);
+    prev = gossip.informed_count();
+  }
+}
+
+TEST(Gossip, PushCompletesOnCompleteGraphQuickly) {
+  // Push on K_n completes in ~log2 n + ln n rounds; give 10x slack.
+  const Graph g = make_complete(128);
+  Engine gen(2);
+  Gossip gossip(g, 0);
+  int rounds = 0;
+  while (!gossip.complete() && rounds < 120) {
+    gossip.step(gen);
+    ++rounds;
+  }
+  EXPECT_TRUE(gossip.complete());
+  EXPECT_LT(rounds, 120);
+}
+
+TEST(Gossip, PushOnPathIsSlow) {
+  // Push on a path can only extend the informed interval by one per side
+  // per round (at best), so completing needs >= (n-1)/2 rounds.
+  const Graph g = make_path(40);
+  Engine gen(3);
+  Gossip gossip(g, 20);
+  int rounds = 0;
+  while (!gossip.complete() && rounds < 100000) {
+    gossip.step(gen);
+    ++rounds;
+  }
+  EXPECT_TRUE(gossip.complete());
+  EXPECT_GE(rounds, 19);
+}
+
+TEST(Gossip, PullCompletesOnStar) {
+  // Pull with the hub informed: every leaf polls the hub each round, so one
+  // round informs everyone.
+  const Graph g = make_star(30);
+  Engine gen(4);
+  Gossip gossip(g, 0, GossipMode::Pull);
+  gossip.step(gen);
+  EXPECT_TRUE(gossip.complete());
+}
+
+TEST(Gossip, PushOnStarIsThrottled) {
+  // Push with a leaf informed: the leaf informs the hub in round 1, then the
+  // hub pushes one leaf per round -> ~n rounds.
+  const Graph g = make_star(20);
+  Engine gen(5);
+  Gossip gossip(g, 1, GossipMode::Push);
+  int rounds = 0;
+  while (!gossip.complete() && rounds < 100000) {
+    gossip.step(gen);
+    ++rounds;
+  }
+  EXPECT_TRUE(gossip.complete());
+  EXPECT_GE(rounds, 19);  // 18 remaining leaves, 1/round, plus hub round
+}
+
+TEST(Gossip, PushPullBeatsPushOnStar) {
+  const Graph g = make_star(64);
+  Engine gen(6);
+  double push_total = 0, pushpull_total = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    Gossip push(g, 1, GossipMode::Push);
+    while (!push.complete()) push.step(gen);
+    push_total += static_cast<double>(push.round());
+    Gossip pp(g, 1, GossipMode::PushPull);
+    while (!pp.complete()) pp.step(gen);
+    pushpull_total += static_cast<double>(pp.round());
+  }
+  EXPECT_LT(pushpull_total * 5, push_total);  // push-pull is drastically faster
+}
+
+TEST(Gossip, SnapshotSemantics) {
+  // Vertices informed in round t must not push in round t (they start in
+  // round t+1). On a path with push: the frontier advances at most one hop
+  // per round.
+  const Graph g = make_path(10);
+  Engine gen(7);
+  Gossip gossip(g, 0);
+  for (int t = 0; t < 5; ++t) {
+    gossip.step(gen);
+    EXPECT_LE(gossip.informed_count(), static_cast<std::uint32_t>(t + 2));
+  }
+}
+
+TEST(Gossip, ResetClearsState) {
+  const Graph g = make_complete(10);
+  Engine gen(8);
+  Gossip gossip(g, 0);
+  for (int t = 0; t < 5; ++t) gossip.step(gen);
+  gossip.reset(3);
+  EXPECT_EQ(gossip.informed_count(), 1u);
+  EXPECT_TRUE(gossip.is_informed(3));
+  EXPECT_EQ(gossip.round(), 0u);
+}
+
+TEST(Gossip, WorksWithCoverEngine) {
+  const Graph g = make_complete(32);
+  Engine gen(9);
+  const CoverResult r = gossip_push_cover(g, 0, gen);
+  EXPECT_TRUE(r.covered);
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_LT(r.steps, 200u);
+}
+
+TEST(Gossip, InvalidConstruction) {
+  EXPECT_THROW(Gossip(Graph{}, 0), std::invalid_argument);
+  const Graph g = make_path(3);
+  EXPECT_THROW(Gossip(g, 5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,86 @@
+#include "core/parallel_walks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace cobra::core {
+namespace {
+
+using graph::make_cycle;
+using graph::make_grid;
+using graph::make_path;
+
+TEST(ParallelWalks, FixedWalkerCount) {
+  const Graph g = make_grid(2, 5);
+  Engine gen(1);
+  ParallelWalks walks(g, 0, 8);
+  EXPECT_EQ(walks.walkers(), 8u);
+  for (int t = 0; t < 100; ++t) {
+    walks.step(gen);
+    EXPECT_EQ(walks.active().size(), 8u);  // never coalesce, never branch
+  }
+}
+
+TEST(ParallelWalks, EachWalkerMovesAlongEdges) {
+  const Graph g = make_cycle(7);
+  Engine gen(2);
+  ParallelWalks walks(g, 3, 4);
+  std::vector<Vertex> prev(walks.active().begin(), walks.active().end());
+  for (int t = 0; t < 100; ++t) {
+    walks.step(gen);
+    const auto current = walks.active();
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(prev[i], current[i]));
+    }
+    prev.assign(current.begin(), current.end());
+  }
+}
+
+TEST(ParallelWalks, ExplicitStartPositions) {
+  const Graph g = make_path(6);
+  const std::vector<Vertex> starts{0, 5, 2};
+  ParallelWalks walks(g, starts);
+  EXPECT_EQ(walks.walkers(), 3u);
+  EXPECT_EQ(walks.active()[0], 0u);
+  EXPECT_EQ(walks.active()[1], 5u);
+  EXPECT_EQ(walks.active()[2], 2u);
+}
+
+TEST(ParallelWalks, InvalidConstruction) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(ParallelWalks(g, 0, 0), std::invalid_argument);
+  EXPECT_THROW(ParallelWalks(g, 5, 2), std::out_of_range);
+  EXPECT_THROW(ParallelWalks(g, std::vector<Vertex>{}), std::invalid_argument);
+  EXPECT_THROW(ParallelWalks(g, std::vector<Vertex>{9}), std::out_of_range);
+}
+
+TEST(ParallelWalks, WalkersAreIndependent) {
+  // Two walkers on a long cycle should decorrelate: they end up at different
+  // positions in most runs.
+  const Graph g = make_cycle(100);
+  Engine gen(3);
+  int distinct = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    ParallelWalks walks(g, 0, 2);
+    for (int s = 0; s < 50; ++s) walks.step(gen);
+    if (walks.active()[0] != walks.active()[1]) ++distinct;
+  }
+  EXPECT_GT(distinct, kTrials / 2);
+}
+
+TEST(ParallelWalks, ResetRestoresAll) {
+  const Graph g = make_grid(2, 4);
+  Engine gen(4);
+  ParallelWalks walks(g, 0, 5);
+  for (int t = 0; t < 20; ++t) walks.step(gen);
+  walks.reset(7);
+  EXPECT_EQ(walks.round(), 0u);
+  for (const Vertex v : walks.active()) EXPECT_EQ(v, 7u);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,96 @@
+#include "core/sis_epidemic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace cobra::core {
+namespace {
+
+using graph::make_complete;
+using graph::make_cycle;
+using graph::make_grid;
+
+TEST(Sis, PatientZeroInitialState) {
+  const Graph g = make_grid(2, 5);
+  const SisEpidemic epi(g, 7);
+  EXPECT_EQ(epi.prevalence(), 1u);
+  EXPECT_EQ(epi.ever_infected(), 1u);
+  EXPECT_FALSE(epi.everyone_exposed());
+  ASSERT_EQ(epi.history().size(), 1u);
+  EXPECT_EQ(epi.history()[0].prevalence, 1u);
+  EXPECT_EQ(epi.history()[0].incidence, 1u);
+}
+
+TEST(Sis, EverInfectedIsMonotone) {
+  const Graph g = make_grid(2, 6);
+  Engine gen(1);
+  SisEpidemic epi(g, 0);
+  std::uint32_t prev = epi.ever_infected();
+  for (int t = 0; t < 200; ++t) {
+    const EpidemicRound r = epi.step(gen);
+    EXPECT_GE(r.ever_infected, prev);
+    EXPECT_EQ(r.ever_infected - prev, r.incidence);
+    prev = r.ever_infected;
+  }
+}
+
+TEST(Sis, AttackRateReachesOne) {
+  const Graph g = make_complete(30);
+  Engine gen(2);
+  SisEpidemic epi(g, 0);
+  const std::uint64_t steps = epi.run_until_all_exposed(gen, 100000);
+  EXPECT_TRUE(epi.everyone_exposed());
+  EXPECT_LT(steps, 100000u);
+  EXPECT_DOUBLE_EQ(epi.attack_rate(), 1.0);
+}
+
+TEST(Sis, HistoryMatchesRounds) {
+  const Graph g = make_cycle(20);
+  Engine gen(3);
+  SisEpidemic epi(g, 0);
+  for (int t = 0; t < 50; ++t) epi.step(gen);
+  ASSERT_EQ(epi.history().size(), 51u);
+  for (std::size_t i = 0; i < epi.history().size(); ++i) {
+    EXPECT_EQ(epi.history()[i].round, i);
+  }
+}
+
+TEST(Sis, PrevalenceMatchesInfectedSpan) {
+  const Graph g = make_grid(2, 4);
+  Engine gen(4);
+  SisEpidemic epi(g, 0, 3);
+  for (int t = 0; t < 30; ++t) {
+    epi.step(gen);
+    EXPECT_EQ(epi.prevalence(), epi.infected().size());
+  }
+}
+
+TEST(Sis, ResetRestartsOutbreak) {
+  const Graph g = make_complete(12);
+  Engine gen(5);
+  SisEpidemic epi(g, 0);
+  epi.run_until_all_exposed(gen, 10000);
+  epi.reset(5);
+  EXPECT_EQ(epi.prevalence(), 1u);
+  EXPECT_EQ(epi.ever_infected(), 1u);
+  EXPECT_EQ(epi.history().size(), 1u);
+  EXPECT_EQ(epi.infected()[0], 5u);
+}
+
+TEST(Sis, MoreContactsSpreadFaster) {
+  const Graph g = make_grid(2, 8);
+  Engine gen(6);
+  double k2_total = 0, k5_total = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    SisEpidemic slow(g, 0, 2);
+    k2_total += static_cast<double>(slow.run_until_all_exposed(gen, 1u << 22));
+    SisEpidemic fast(g, 0, 5);
+    k5_total += static_cast<double>(fast.run_until_all_exposed(gen, 1u << 22));
+  }
+  EXPECT_LT(k5_total, k2_total);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,104 @@
+#include "core/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/cobra_walk.hpp"
+#include "graph/generators.hpp"
+
+namespace cobra::core {
+namespace {
+
+using graph::make_complete;
+using graph::make_grid;
+
+TEST(Trajectory, RecordsEveryRound) {
+  const Graph g = make_grid(2, 4);
+  Engine gen(1);
+  CobraWalk walk(g, 0, 2);
+  TrajectoryRecorder rec(g.num_vertices());
+  rec.record(walk);
+  for (int t = 0; t < 20; ++t) {
+    walk.step(gen);
+    rec.record(walk);
+  }
+  ASSERT_EQ(rec.points().size(), 21u);
+  EXPECT_EQ(rec.points()[0].round, 0u);
+  EXPECT_EQ(rec.points()[0].active_size, 1u);
+  EXPECT_EQ(rec.points()[0].covered, 1u);
+  EXPECT_EQ(rec.points()[20].round, 20u);
+}
+
+TEST(Trajectory, CoverageIsMonotone) {
+  const Graph g = make_grid(2, 5);
+  Engine gen(2);
+  CobraWalk walk(g, 0, 2);
+  TrajectoryRecorder rec(g.num_vertices());
+  rec.record(walk);
+  for (int t = 0; t < 100; ++t) {
+    walk.step(gen);
+    rec.record(walk);
+  }
+  for (std::size_t i = 1; i < rec.points().size(); ++i) {
+    EXPECT_GE(rec.points()[i].covered, rec.points()[i - 1].covered);
+  }
+}
+
+TEST(Trajectory, PeakActiveTracksMaximum) {
+  const Graph g = make_complete(32);
+  Engine gen(3);
+  CobraWalk walk(g, 0, 2);
+  TrajectoryRecorder rec(g.num_vertices());
+  rec.record(walk);
+  std::uint32_t observed_peak = 1;
+  for (int t = 0; t < 50; ++t) {
+    walk.step(gen);
+    rec.record(walk);
+    observed_peak =
+        std::max(observed_peak, static_cast<std::uint32_t>(walk.active().size()));
+  }
+  EXPECT_EQ(rec.peak_active(), observed_peak);
+  EXPECT_GT(rec.peak_active(), 1u);  // branching must have grown the set
+}
+
+TEST(Trajectory, RoundAtCoverage) {
+  const Graph g = make_complete(16);
+  Engine gen(4);
+  CobraWalk walk(g, 0, 3);
+  TrajectoryRecorder rec(g.num_vertices());
+  rec.record(walk);
+  while (!rec.complete()) {
+    walk.step(gen);
+    rec.record(walk);
+  }
+  const auto half = rec.round_at_coverage(0.5);
+  const auto full = rec.round_at_coverage(1.0);
+  EXPECT_LE(half, full);
+  EXPECT_NE(full, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(rec.round_at_coverage(0.0), 0u);
+}
+
+TEST(Trajectory, RoundAtCoverageUnreachedIsMax) {
+  TrajectoryRecorder rec(10);
+  EXPECT_EQ(rec.round_at_coverage(0.5),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Trajectory, ResetClearsEverything) {
+  const Graph g = make_complete(8);
+  Engine gen(5);
+  CobraWalk walk(g, 0, 2);
+  TrajectoryRecorder rec(g.num_vertices());
+  rec.record(walk);
+  walk.step(gen);
+  rec.record(walk);
+  rec.reset();
+  EXPECT_TRUE(rec.points().empty());
+  EXPECT_EQ(rec.covered_count(), 0u);
+  EXPECT_EQ(rec.peak_active(), 0u);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -1,0 +1,118 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace cobra::graph {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  return b.build();
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.volume(), 0u);
+  EXPECT_TRUE(g.is_regular());
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(g.is_simple());
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(Graph, NeighborsSortedAndSymmetric) {
+  const Graph g = triangle();
+  for (Vertex v = 0; v < 3; ++v) {
+    const auto nbrs = g.neighbors(v);
+    ASSERT_EQ(nbrs.size(), 2u);
+    EXPECT_LT(nbrs[0], nbrs[1]);
+    for (const Vertex u : nbrs) EXPECT_TRUE(g.has_edge(u, v));
+  }
+}
+
+TEST(Graph, NeighborIndexAccessor) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.neighbor(0, 0), 1u);
+  EXPECT_EQ(g.neighbor(0, 1), 2u);
+}
+
+TEST(Graph, HasEdge) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 99));  // out of range is just "no"
+}
+
+TEST(Graph, DirectCsrConstruction) {
+  // Path 0-1-2 in CSR form.
+  const Graph g(3, {0, 1, 3, 4}, {1, 0, 2, 1});
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, CsrValidationRejectsBadOffsets) {
+  EXPECT_THROW(Graph(2, {0, 1}, {1, 0}), std::invalid_argument);      // size
+  EXPECT_THROW(Graph(2, {1, 1, 2}, {1, 0}), std::invalid_argument);   // start
+  EXPECT_THROW(Graph(2, {0, 1, 3}, {1, 0}), std::invalid_argument);   // end
+  EXPECT_THROW(Graph(2, {0, 2, 1}, {1}), std::invalid_argument);      // order
+}
+
+TEST(Graph, CsrValidationRejectsBadTargets) {
+  EXPECT_THROW(Graph(2, {0, 1, 2}, {1, 5}), std::invalid_argument);
+}
+
+TEST(Graph, SelfLoopDetectedByIsSimple) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_FALSE(g.is_simple());
+  // A self-loop contributes 2 to degree.
+  EXPECT_EQ(g.degree(0), 3u);
+}
+
+TEST(Graph, ParallelEdgeDetectedByIsSimple) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_FALSE(g.is_simple());
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Graph, IrregularDegrees) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_FALSE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 0u);
+  EXPECT_EQ(g.max_degree(), 1u);
+}
+
+}  // namespace
+}  // namespace cobra::graph

@@ -1,0 +1,122 @@
+/// Statistical certification of the randomized generators: each family's
+/// headline statistic matches its theory within tolerance. These go beyond
+/// the structural invariants in graph/test_generators.cpp — they check the
+/// DISTRIBUTIONS the experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "graph/spectral.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace cobra {
+namespace {
+
+using graph::Graph;
+
+TEST(GeneratorStats, ErdosRenyiEdgeCountConcentrates) {
+  // E[m] = C(n,2) p; repeat and compare the sample mean within 3 sigma.
+  rng::Xoshiro256 gen(1);
+  const std::uint32_t n = 400;
+  const double p = 0.03;
+  const double expected = n * (n - 1) / 2.0 * p;
+  const double sigma = std::sqrt(n * (n - 1) / 2.0 * p * (1 - p));
+  double total = 0.0;
+  constexpr int kReps = 50;
+  for (int rep = 0; rep < kReps; ++rep) {
+    total += static_cast<double>(graph::make_erdos_renyi(gen, n, p).num_edges());
+  }
+  EXPECT_NEAR(total / kReps, expected, 3.0 * sigma / std::sqrt(kReps));
+}
+
+TEST(GeneratorStats, ErdosRenyiAboveThresholdIsConnected) {
+  // p = 3 ln n / n is safely above the connectivity threshold.
+  rng::Xoshiro256 gen(2);
+  const std::uint32_t n = 300;
+  const double p = 3.0 * std::log(n) / n;
+  int connected = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    if (graph::is_connected(graph::make_erdos_renyi(gen, n, p))) ++connected;
+  }
+  EXPECT_GE(connected, 19);
+}
+
+TEST(GeneratorStats, RandomRegularIsExpanderWhp) {
+  // Random 4-regular graphs have lazy spectral gap bounded away from 0.
+  rng::Xoshiro256 gen(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Graph g = graph::make_random_regular(gen, 200, 4);
+    ASSERT_TRUE(graph::is_connected(g));
+    EXPECT_GT(graph::lazy_walk_spectrum(g).spectral_gap, 0.05) << rep;
+  }
+}
+
+TEST(GeneratorStats, RandomRegularEdgeMarginalsUniformish) {
+  // Each particular edge {0, 1} appears with probability ~ d/(n-1).
+  rng::Xoshiro256 gen(4);
+  const std::uint32_t n = 60, d = 4;
+  int present = 0;
+  constexpr int kReps = 3000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    if (graph::make_random_regular(gen, n, d).has_edge(0, 1)) ++present;
+  }
+  const double expected = static_cast<double>(d) / (n - 1);
+  EXPECT_NEAR(static_cast<double>(present) / kReps, expected, 0.015);
+}
+
+TEST(GeneratorStats, BarabasiAlbertDegreeTailIsPowerLaw) {
+  // BA degree distribution has tail exponent ~3.
+  rng::Xoshiro256 gen(5);
+  const Graph g = graph::make_barabasi_albert(gen, 20000, 3);
+  const double gamma = graph::hill_tail_exponent(g, 12);
+  EXPECT_GT(gamma, 2.3);
+  EXPECT_LT(gamma, 3.7);
+}
+
+TEST(GeneratorStats, ChungLuAverageDegreeMatchesWeights) {
+  // Expected average degree for gamma = 2.5, min_deg = 3 is roughly
+  // min_deg * (gamma-1)/(gamma-2) = 9 (weight-sequence mean); allow wide
+  // tolerance for the cap and discreteness.
+  rng::Xoshiro256 gen(6);
+  const Graph g = graph::make_chung_lu_power_law(gen, 5000, 2.5, 3.0);
+  EXPECT_GT(g.average_degree(), 4.0);
+  EXPECT_LT(g.average_degree(), 14.0);
+}
+
+TEST(GeneratorStats, GeometricGraphDegreeMatchesDensity) {
+  // E[deg] ~ n pi r^2 away from the border; measure the interior mean.
+  rng::Xoshiro256 gen(7);
+  const std::uint32_t n = 3000;
+  const double r = 0.05;
+  const Graph g = graph::make_random_geometric(gen, n, r);
+  const double expected = n * 3.14159265 * r * r;
+  // Border effects bias downward; accept [0.75, 1.05] * expected.
+  EXPECT_GT(g.average_degree(), 0.75 * expected);
+  EXPECT_LT(g.average_degree(), 1.05 * expected);
+}
+
+TEST(GeneratorStats, GridDiametersScaleLinearly) {
+  for (const std::uint32_t side : {4u, 8u, 16u}) {
+    EXPECT_EQ(graph::exact_diameter(graph::make_grid(2, side)),
+              2 * (side - 1));
+    EXPECT_EQ(graph::exact_diameter(graph::make_grid(2, side, true)),
+              2 * (side / 2));
+  }
+}
+
+TEST(GeneratorStats, HypercubeConductanceIsOneOverD) {
+  // The dimension cut realizes Phi = 1/d; the sweep estimate must land in
+  // [1/d, sqrt(2 * 2/d)] (Cheeger band, degenerate eigenspace).
+  for (const std::uint32_t d : {4u, 6u}) {
+    const auto est = graph::estimate_conductance(graph::make_hypercube(d));
+    EXPECT_GE(est.sweep_cut_upper, 1.0 / d - 1e-9);
+    EXPECT_LE(est.sweep_cut_upper, std::sqrt(4.0 / d) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cobra

@@ -1,0 +1,66 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cobra::io {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "cobra_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesRows) {
+  {
+    CsvWriter w(path_);
+    w.write_header({"n", "cover"});
+    w.write_row({"8", "12.5"});
+  }
+  EXPECT_EQ(slurp(path_), "n,cover\n8,12.5\n");
+}
+
+TEST_F(CsvTest, WritesDoubleValues) {
+  {
+    CsvWriter w(path_);
+    w.write_values({1.5, 2.0, 3.25});
+  }
+  EXPECT_EQ(slurp(path_), "1.5,2,3.25\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter w(path_);
+    w.write_row({"plain", "has,comma", "has\"quote", "has\nnewline"});
+  }
+  EXPECT_EQ(slurp(path_),
+            "plain,\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+}
+
+TEST(CsvEscape, Rules) {
+  EXPECT_EQ(CsvWriter::escape("abc"), "abc");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+  EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(Csv, UnopenablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cobra::io

@@ -1,0 +1,117 @@
+#include "parallel/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace cobra::par {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(pool, 0, visits.size(), [&](std::size_t i) {
+    visits[i].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  parallel_for(pool, 7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, NonzeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 10, 20, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(ParallelFor, MatchesSerialSum) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 100000;
+  std::atomic<long long> sum{0};
+  parallel_for(pool, 0, kN, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i) * 3);
+  });
+  long long expected = 0;
+  for (std::size_t i = 0; i < kN; ++i) expected += static_cast<long long>(i) * 3;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 100,
+                   [](std::size_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // Pool must remain usable after an exception.
+  std::atomic<int> ok{0};
+  parallel_for(pool, 0, 10, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ParallelForDynamic, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(997);  // prime: uneven chunks
+  parallel_for_dynamic(pool, 0, visits.size(), [&](std::size_t i) {
+    visits[i].fetch_add(1);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForDynamic, HandlesSkewedWork) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  parallel_for_dynamic(pool, 0, 100, [&](std::size_t i) {
+    // index 0 is 1000x more work than the rest
+    long sink = 0;
+    const long reps = i == 0 ? 100000 : 100;
+    for (long r = 0; r < reps; ++r) sink += r;
+    // Fold the busy-work result into the sum's low bits being unchanged:
+    // (sink is always even * odd pairs...) just prevent optimization by
+    // using it in a branch that never fires.
+    if (sink < 0) sum.fetch_add(1);
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ParallelForDynamic, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for_dynamic(pool, 0, 50,
+                                    [](std::size_t i) {
+                                      if (i == 13) throw std::logic_error("x");
+                                    }),
+               std::logic_error);
+}
+
+TEST(ParallelForDynamic, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for_dynamic(pool, 3, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleThreadPoolStillCorrect) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 0, 1000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 499500);
+}
+
+}  // namespace
+}  // namespace cobra::par

@@ -1,0 +1,90 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+#include "stats/summary.hpp"
+
+namespace cobra::stats {
+namespace {
+
+TEST(Bootstrap, PointEstimateIsSampleStatistic) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  const BootstrapCI ci = bootstrap_mean_ci(sample);
+  EXPECT_DOUBLE_EQ(ci.point, 2.5);
+}
+
+TEST(Bootstrap, IntervalBracketsPoint) {
+  rng::Xoshiro256 gen(1);
+  std::vector<double> sample(200);
+  for (double& x : sample) x = rng::uniform_unit(gen);
+  const BootstrapCI ci = bootstrap_mean_ci(sample);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_LT(ci.hi - ci.lo, 0.2);  // 200 uniforms: SEM ~ 0.02
+}
+
+TEST(Bootstrap, EmptySampleIsZero) {
+  const BootstrapCI ci = bootstrap_mean_ci({});
+  EXPECT_EQ(ci.point, 0.0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 0.0);
+}
+
+TEST(Bootstrap, SingleObservationCollapses) {
+  const std::vector<double> one{5.0};
+  const BootstrapCI ci = bootstrap_mean_ci(one);
+  EXPECT_EQ(ci.lo, 5.0);
+  EXPECT_EQ(ci.hi, 5.0);
+}
+
+TEST(Bootstrap, DeterministicGivenSeed) {
+  const std::vector<double> sample{1.0, 5.0, 3.0, 2.0, 4.0, 9.0};
+  const BootstrapCI a = bootstrap_mean_ci(sample, 0.95, 500, 42);
+  const BootstrapCI b = bootstrap_mean_ci(sample, 0.95, 500, 42);
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+  const BootstrapCI c = bootstrap_mean_ci(sample, 0.95, 500, 43);
+  EXPECT_TRUE(c.lo != a.lo || c.hi != a.hi);
+}
+
+TEST(Bootstrap, WiderLevelGivesWiderInterval) {
+  rng::Xoshiro256 gen(2);
+  std::vector<double> sample(100);
+  for (double& x : sample) x = rng::uniform_unit(gen) * 10;
+  const BootstrapCI ci90 = bootstrap_ci(
+      sample, [](std::span<const double> s) { return mean_of(s); }, 0.90);
+  const BootstrapCI ci99 = bootstrap_ci(
+      sample, [](std::span<const double> s) { return mean_of(s); }, 0.99);
+  EXPECT_GT(ci99.hi - ci99.lo, ci90.hi - ci90.lo);
+}
+
+TEST(Bootstrap, MedianCiOnSkewedData) {
+  // Heavily right-skewed sample: median CI should sit near the low mass.
+  std::vector<double> sample;
+  for (int i = 0; i < 99; ++i) sample.push_back(1.0 + i * 0.01);
+  sample.push_back(1000.0);
+  const BootstrapCI ci = bootstrap_median_ci(sample);
+  EXPECT_LT(ci.hi, 3.0);
+  EXPECT_GT(ci.lo, 0.9);
+}
+
+TEST(Bootstrap, CoverageOfTrueMean) {
+  // 95% CI should cover the true mean (0.5) in the large majority of reps.
+  rng::Xoshiro256 gen(3);
+  int covered = 0;
+  for (int rep = 0; rep < 60; ++rep) {
+    std::vector<double> sample(80);
+    for (double& x : sample) x = rng::uniform_unit(gen);
+    const BootstrapCI ci =
+        bootstrap_mean_ci(sample, 0.95, 500, 1000 + static_cast<unsigned>(rep));
+    if (ci.lo <= 0.5 && 0.5 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, 48);  // ~95% nominal, allow slack
+}
+
+}  // namespace
+}  // namespace cobra::stats

@@ -1,0 +1,97 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace cobra::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(1.0);  // hi is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Histogram, OfSampleSpansData) {
+  const std::vector<double> sample{3.0, 7.0, 5.0, 4.0, 6.0};
+  const Histogram h = Histogram::of(sample, 4);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OfDegenerateSample) {
+  const std::vector<double> same{2.0, 2.0, 2.0};
+  const Histogram h = Histogram::of(same, 3);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.underflow() + h.overflow(), 0u);
+}
+
+TEST(Histogram, OfEmptySample) {
+  const Histogram h = Histogram::of({}, 3);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, ModeBin) {
+  Histogram h(0.0, 3.0, 3);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(1.7);
+  h.add(2.5);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, RenderContainsCountsAndBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bin full width
+  EXPECT_NE(out.find(" 2"), std::string::npos);
+  EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(Histogram, AddAll) {
+  Histogram h(0.0, 1.0, 2);
+  const std::vector<double> xs{0.1, 0.2, 0.7};
+  h.add_all(xs);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+}
+
+}  // namespace
+}  // namespace cobra::stats
