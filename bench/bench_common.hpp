@@ -6,10 +6,16 @@
 /// *shape*: growth exponent, bounded ratio, or ordering). See DESIGN.md §3
 /// for the experiment index and EXPERIMENTS.md for recorded results.
 
+#include <cmath>
 #include <cstdint>
+#include <deque>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/cover_time.hpp"
@@ -20,6 +26,133 @@
 #include "stats/summary.hpp"
 
 namespace cobra::bench {
+
+/// Machine-readable twin of the console tables: collects flat records and
+/// writes one BENCH_<name>.json file. This is how the perf trajectory is
+/// recorded across PRs — each bench that matters appends its numbers here
+/// so later optimization work has a baseline to beat (EXPERIMENTS.md holds
+/// the human-readable commentary).
+///
+/// Schema:
+///   {
+///     "benchmark": "<name>",
+///     "context": { "<key>": <string|number>, ... },
+///     "records": [ { "name": "...", "<field>": <number|string>, ... } ]
+///   }
+class JsonReporter {
+ public:
+  /// `benchmark` names the suite; the file is written by `write(path)`.
+  explicit JsonReporter(std::string benchmark)
+      : benchmark_(std::move(benchmark)) {
+    context("hardware_concurrency",
+            static_cast<double>(std::thread::hardware_concurrency()));
+  }
+
+  void context(const std::string& key, const std::string& value) {
+    context_.emplace_back(key, quote(value));
+  }
+  void context(const std::string& key, double value) {
+    context_.emplace_back(key, number(value));
+  }
+
+  /// Start a record; fill it with the returned handle.
+  class Record {
+   public:
+    Record& field(const std::string& key, double value) {
+      fields_.emplace_back(key, JsonReporter::number(value));
+      return *this;
+    }
+    Record& field(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, JsonReporter::quote(value));
+      return *this;
+    }
+
+   private:
+    friend class JsonReporter;
+    explicit Record(std::string name) : name_(std::move(name)) {}
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// The returned reference stays valid for the reporter's lifetime
+  /// (records live in a deque), so handles may be kept across later
+  /// record() calls.
+  Record& record(std::string name) {
+    records_.push_back(Record(std::move(name)));
+    return records_.back();
+  }
+
+  /// Serialize to `path`; reports and returns failure instead of silently
+  /// losing the baseline file.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "[json] ERROR: cannot open " << path << " for writing\n";
+      return false;
+    }
+    out << render();
+    out.flush();
+    if (!out) {
+      std::cerr << "[json] ERROR: write to " << path << " failed\n";
+      return false;
+    }
+    std::cout << "[json] wrote " << path << "\n";
+    return true;
+  }
+
+  [[nodiscard]] std::string render() const {
+    std::ostringstream os;
+    os << "{\n  \"benchmark\": " << quote(benchmark_) << ",\n  \"context\": {";
+    for (std::size_t i = 0; i < context_.size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n") << "    " << quote(context_[i].first)
+         << ": " << context_[i].second;
+    }
+    os << "\n  },\n  \"records\": [";
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      const Record& rec = records_[r];
+      os << (r == 0 ? "\n" : ",\n") << "    { \"name\": " << quote(rec.name_);
+      for (const auto& [key, value] : rec.fields_) {
+        os << ", " << quote(key) << ": " << value;
+      }
+      os << " }";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      const auto u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (u < 0x20) {  // RFC 8259: control chars must be escaped
+        constexpr char kHex[] = "0123456789abcdef";
+        out += "\\u00";
+        out += kHex[u >> 4];
+        out += kHex[u & 0xf];
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  static std::string number(double value) {
+    if (!std::isfinite(value)) return "null";
+    std::ostringstream os;
+    os.precision(15);
+    os << value;
+    return os.str();
+  }
+
+  std::string benchmark_;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::deque<Record> records_;  // stable references across record() calls
+};
 
 /// A Monte-Carlo measurement: run `trial` `trials` times on the global pool
 /// with deterministic seeding and summarize.

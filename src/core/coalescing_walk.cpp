@@ -5,10 +5,7 @@
 namespace cobra::core {
 
 CoalescingWalks::CoalescingWalks(const Graph& g, std::span<const Vertex> starts)
-    : g_(&g), stamp_(g.num_vertices(), 0) {
-  if (g.num_vertices() == 0) {
-    throw std::invalid_argument("CoalescingWalks: empty graph");
-  }
+    : g_(&g), engine_(g), pick_(g) {
   if (g.min_degree() == 0) {
     throw std::invalid_argument("CoalescingWalks: graph has an isolated vertex");
   }
@@ -24,33 +21,20 @@ void CoalescingWalks::reset(std::span<const Vertex> starts) {
       throw std::out_of_range("CoalescingWalks: start out of range");
     }
   }
-  walkers_.assign(starts.begin(), starts.end());
   round_ = 0;
-  merges_ = 0;
-  dedupe();
-}
-
-void CoalescingWalks::dedupe() {
-  if (++epoch_ == 0) {
-    stamp_.assign(stamp_.size(), 0);
-    epoch_ = 1;
-  }
-  std::size_t kept = 0;
-  for (const Vertex v : walkers_) {
-    if (stamp_[v] != epoch_) {
-      stamp_[v] = epoch_;
-      walkers_[kept++] = v;
-    } else {
-      ++merges_;
-    }
-  }
-  walkers_.resize(kept);
+  engine_.dedupe(starts, walkers_);
+  merges_ = starts.size() - walkers_.size();
 }
 
 void CoalescingWalks::step(Engine& gen) {
   ++round_;
-  for (Vertex& w : walkers_) w = random_neighbor(*g_, w, gen);
-  dedupe();
+  const std::uint64_t round_seed = gen();
+  engine_.expand(walkers_, next_, round_seed,
+                 [this](Vertex v, FrontierEngine::ChunkRng& rng, auto&& sink) {
+                   sink(pick_(g_->neighbors(v), rng));
+                 });
+  merges_ += walkers_.size() - next_.size();
+  walkers_.swap(next_);
 }
 
 std::uint64_t CoalescingWalks::run_to_single(Engine& gen, std::uint64_t max_steps) {

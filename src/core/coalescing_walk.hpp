@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "core/frontier_engine.hpp"
 #include "core/types.hpp"
 
 /// \file coalescing_walk.hpp
@@ -13,6 +14,10 @@
 /// models (Cooper et al., PODC'12) — and serves in tests/benches as the
 /// contrast showing that branching is what buys the cobra walk its speed:
 /// a coalescing system can only lose walkers over time.
+///
+/// Steps run on the shared FrontierEngine (one neighbor sample per walker,
+/// merge = the engine's offspring dedup), so large walker populations move
+/// in parallel with the same bit-exact result at any thread count.
 
 namespace cobra::core {
 
@@ -45,13 +50,15 @@ class CoalescingWalks {
   /// at most `max_steps`; returns the round count or max_steps if not done.
   std::uint64_t run_to_single(Engine& gen, std::uint64_t max_steps);
 
- private:
-  void dedupe();
+  /// The underlying step engine (chunking / pool / threshold knobs).
+  [[nodiscard]] FrontierEngine& engine() noexcept { return engine_; }
 
+ private:
   const Graph* g_;
+  FrontierEngine engine_;
+  NeighborSampler pick_;
   std::vector<Vertex> walkers_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t epoch_ = 0;
+  std::vector<Vertex> next_;
   std::uint64_t round_ = 0;
   std::uint64_t merges_ = 0;
 };

@@ -5,9 +5,8 @@
 namespace cobra::core {
 
 CobraWalk::CobraWalk(const Graph& g, Vertex start, std::uint32_t branching)
-    : g_(&g), k_(branching), stamp_(g.num_vertices(), 0) {
+    : g_(&g), k_(branching), engine_(g), pick_(g) {
   if (branching < 1) throw std::invalid_argument("CobraWalk: branching >= 1");
-  if (g.num_vertices() == 0) throw std::invalid_argument("CobraWalk: empty graph");
   if (g.min_degree() == 0) {
     throw std::invalid_argument("CobraWalk: graph has an isolated vertex");
   }
@@ -21,45 +20,28 @@ void CobraWalk::reset(Vertex start) {
 }
 
 void CobraWalk::reset(std::span<const Vertex> starts) {
-  frontier_.clear();
-  round_ = 0;
-  samples_ = 0;
-  if (++epoch_ == 0) {  // stamp wrap: old stamps would alias, wipe them
-    stamp_.assign(stamp_.size(), 0);
-    epoch_ = 1;
-  }
   for (const Vertex v : starts) {
     if (v >= g_->num_vertices()) {
       throw std::out_of_range("CobraWalk::reset: start out of range");
     }
-    if (stamp_[v] != epoch_) {
-      stamp_[v] = epoch_;
-      frontier_.push_back(v);
-    }
   }
+  round_ = 0;
+  samples_ = 0;
+  engine_.dedupe(starts, frontier_);
   if (frontier_.empty()) {
     throw std::invalid_argument("CobraWalk::reset: empty start set");
   }
 }
 
 void CobraWalk::step(Engine& gen) {
-  next_.clear();
-  if (++epoch_ == 0) {
-    stamp_.assign(stamp_.size(), 0);
-    epoch_ = 1;
-  }
-  for (const Vertex v : frontier_) {
-    const auto nbrs = g_->neighbors(v);
-    const std::uint64_t deg = nbrs.size();
-    for (std::uint32_t i = 0; i < k_; ++i) {
-      const Vertex u =
-          nbrs[static_cast<std::size_t>(rng::uniform_below(gen, deg))];
-      if (stamp_[u] != epoch_) {
-        stamp_[u] = epoch_;
-        next_.push_back(u);
-      }
-    }
-  }
+  // One caller draw seeds the entire round; the engine derives per-chunk
+  // streams from it, keeping the walk thread-count independent.
+  const std::uint64_t round_seed = gen();
+  engine_.expand(frontier_, next_, round_seed,
+                 [this](Vertex v, FrontierEngine::ChunkRng& rng, auto&& sink) {
+                   const auto nbrs = g_->neighbors(v);
+                   for (std::uint32_t i = 0; i < k_; ++i) sink(pick_(nbrs, rng));
+                 });
   samples_ += static_cast<std::uint64_t>(k_) * frontier_.size();
   frontier_.swap(next_);
   ++round_;

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "core/frontier_engine.hpp"
 #include "core/types.hpp"
 
 /// \file cobra_walk.hpp
@@ -13,8 +14,15 @@
 /// is implicit: a vertex sampled several times is active once).
 ///
 /// Implementation notes:
-///   * The active set is a dense vector of vertices; membership dedup uses
-///     a per-vertex epoch stamp (no O(n) clearing per round, no hashing).
+///   * Rounds execute on the shared FrontierEngine: the active set is
+///     partitioned into fixed chunks, each chunk samples from an engine
+///     seeded with derive_seed(round_seed, chunk), and offspring dedup via
+///     the engine's epoch-stamp array — in parallel across the thread pool
+///     once the frontier is large enough, serially (same chunking, same
+///     bits) below that.
+///   * One draw of the caller's engine per round seeds the whole round, so
+///     a walk remains a pure function of (graph, start, k, engine seed)
+///     regardless of thread count.
 ///   * A round costs O(k |S_t|) neighbor samples and nothing else; all
 ///     buffers are preallocated at construction.
 ///   * k = 1 degenerates to the simple random walk, which tests exploit.
@@ -51,13 +59,17 @@ class CobraWalk {
   /// per round) — the work measure reported by the throughput bench.
   [[nodiscard]] std::uint64_t samples_drawn() const noexcept { return samples_; }
 
+  /// The underlying step engine — benches/tests tune its chunking, pool
+  /// and threshold through this.
+  [[nodiscard]] FrontierEngine& engine() noexcept { return engine_; }
+
  private:
   const Graph* g_;
   std::uint32_t k_;
+  FrontierEngine engine_;
+  NeighborSampler pick_;
   std::vector<Vertex> frontier_;
   std::vector<Vertex> next_;
-  std::vector<std::uint32_t> stamp_;  ///< stamp_[v] == epoch_ iff v in next_
-  std::uint32_t epoch_ = 0;
   std::uint64_t round_ = 0;
   std::uint64_t samples_ = 0;
 };

@@ -1,0 +1,36 @@
+#include "core/frontier_engine.hpp"
+
+#include <stdexcept>
+
+namespace cobra::core {
+
+FrontierEngine::FrontierEngine(const Graph& g, FrontierOptions opts)
+    : g_(&g), opts_(opts), stamp_(g.num_vertices(), 0) {
+  if (g.num_vertices() == 0) {
+    throw std::invalid_argument("FrontierEngine: empty graph");
+  }
+}
+
+std::uint32_t FrontierEngine::advance_epoch() {
+  if (++epoch_ == 0) {  // 32-bit wrap: stamps from 2^32 rounds ago would
+    stamp_.assign(stamp_.size(), 0);  // alias the new epoch — wipe them
+    epoch_ = 1;
+  }
+  return epoch_;
+}
+
+void FrontierEngine::dedupe(std::span<const Vertex> in,
+                            std::vector<Vertex>& out) {
+  out.clear();
+  if (in.empty()) return;
+  const std::uint32_t epoch = advance_epoch();
+  const std::uint64_t tag = static_cast<std::uint64_t>(epoch) << 32;
+  for (const Vertex v : in) {
+    if ((stamp_[v] >> 32) != epoch) {
+      stamp_[v] = tag;  // owner chunk 0: resets are serial by definition
+      out.push_back(v);
+    }
+  }
+}
+
+}  // namespace cobra::core

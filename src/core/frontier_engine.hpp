@@ -1,0 +1,261 @@
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "parallel/monte_carlo.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/batch.hpp"
+#include "rng/splitmix64.hpp"
+
+/// \file frontier_engine.hpp
+/// The shared frontier-expansion engine: executes one branching/coalescing
+/// round of any frontier process (cobra walk, coalescing walks, gossip
+/// push, ...) with the per-vertex sampling work spread across the thread
+/// pool. This is the library's hottest path — on expanders the frontier
+/// grows to Θ(n) vertices, so per-round work, not per-trial work, is the
+/// unit of parallelism that matters (the same altitude at which Ghaffari &
+/// Uitto's sparsified MPC rounds and parallel greedy MIS operate).
+///
+/// Determinism contract (mirrors monte_carlo.hpp): a round's randomness is
+/// a pure function of its `round_seed`. The frontier is split into
+/// fixed-size chunks; chunk c samples from an engine seeded with
+/// rng::derive_seed(round_seed, c). Thread count only decides which worker
+/// runs which chunk, never what a chunk draws, so the produced frontier is
+/// bit-identical across 1, 2, ... N threads AND identical to the serial
+/// in-line path (which walks the same chunks in index order).
+///
+/// Dedup: offspring are deduplicated against a per-vertex epoch-stamp
+/// array. Each stamp packs (epoch << 32) | owner_chunk. In the parallel
+/// path chunks claim vertices with a CAS loop that resolves contention by
+/// MIN chunk index — exactly the vertex-to-chunk assignment the serial
+/// in-order pass produces — and a final merge keeps, per chunk, only the
+/// entries the chunk still owns. Hence content AND order of the next
+/// frontier are schedule-independent.
+///
+/// Epoch-wrap audit (the stamp idiom's one failure mode): advancing a
+/// 32-bit epoch past 2^32 would alias stamps from 2^32 rounds ago, so the
+/// advance wipes the array on wrap. The engine centralizes that logic in
+/// one place (`advance_epoch`), and `expand` returns before touching the
+/// epoch when the frontier is empty — an extinct process stepped in a loop
+/// no longer burns epochs (or the O(n) wrap re-scan) doing nothing.
+
+namespace cobra::core {
+
+struct FrontierOptions {
+  /// Frontier vertices per chunk. Fixed chunking (not pool-size-derived) is
+  /// what makes results independent of the thread count.
+  std::size_t chunk_size = 1024;
+  /// Frontiers smaller than this run in-line on the calling thread: below
+  /// it, pool hand-off costs more than the sampling itself.
+  std::size_t parallel_threshold = 8192;
+  /// Pool to spread chunks over; nullptr means par::global_pool().
+  par::ThreadPool* pool = nullptr;
+};
+
+/// Uniform neighbor selection with a regular-degree fast path. When the
+/// graph is regular with a power-of-two degree d >= 2, Lemire's bounded
+/// sampler degenerates to a shift (2^64 mod d == 0, so the rejection zone
+/// is empty and m >> 64 == x >> (64 - log2 d)); precomputing that shift
+/// replaces the 128-bit multiply with a mask-like single shift, and the
+/// result is bit-identical to the generic path.
+class NeighborSampler {
+ public:
+  NeighborSampler() = default;
+
+  explicit NeighborSampler(const Graph& g) {
+    if (g.num_vertices() == 0 || !g.is_regular()) return;
+    const std::uint32_t degree = g.degree(0);
+    if (degree >= 2 && std::has_single_bit(degree)) {
+      shift_ = 64 - std::bit_width(degree) + 1;  // 64 - log2(degree)
+    }
+  }
+
+  template <rng::Uint64Generator G>
+  [[nodiscard]] Vertex operator()(std::span<const Vertex> neighbors,
+                                  G& gen) const {
+    if (shift_ != 0) {
+      return neighbors[static_cast<std::size_t>(gen() >> shift_)];
+    }
+    return neighbors[static_cast<std::size_t>(
+        rng::uniform_below(gen, neighbors.size()))];
+  }
+
+  /// True when the shift fast path is armed (exposed for tests).
+  [[nodiscard]] bool fast_path() const noexcept { return shift_ != 0; }
+
+ private:
+  int shift_ = 0;  // 0 = generic Lemire path
+};
+
+class FrontierEngine {
+ public:
+  /// The RNG handed to samplers: a block-buffered xoshiro (rng/batch.hpp).
+  using ChunkRng = rng::Batched<Engine, 256>;
+
+  explicit FrontierEngine(const Graph& g, FrontierOptions opts = {});
+
+  /// Expand one round: for every frontier vertex v, invoke
+  /// `sampler(v, rng, sink)`, which must call `sink(u)` once per offspring
+  /// vertex u. `next` receives the deduplicated offspring (cleared first).
+  /// `sampler` is shared across worker threads — it must be const-callable
+  /// and must not mutate shared state without synchronization.
+  template <typename Sampler>
+  void expand(std::span<const Vertex> frontier, std::vector<Vertex>& next,
+              std::uint64_t round_seed, const Sampler& sampler);
+
+  /// Serial dedup of `in` into `out` (reset paths): keeps the first
+  /// occurrence of each vertex, preserving order. Shares the stamp array,
+  /// so it composes with expand rounds.
+  void dedupe(std::span<const Vertex> in, std::vector<Vertex>& out);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+  /// Mutable knobs — tests pin chunk_size / threshold / pool explicitly.
+  [[nodiscard]] FrontierOptions& options() noexcept { return opts_; }
+
+  /// How many expand rounds took each path (observability for tests/bench).
+  [[nodiscard]] std::uint64_t parallel_rounds() const noexcept {
+    return parallel_rounds_;
+  }
+  [[nodiscard]] std::uint64_t serial_rounds() const noexcept {
+    return serial_rounds_;
+  }
+
+  /// Total sink() invocations of the most recent expand round — i.e. the
+  /// offspring emitted before dedup. Counted per chunk and summed at the
+  /// merge (no shared atomic in the sampling loop), so callers whose
+  /// per-vertex emission count is data-dependent (random branching
+  /// schedules) read their work measure here instead of maintaining a
+  /// contended counter inside the sampler.
+  [[nodiscard]] std::uint64_t last_emitted() const noexcept {
+    return last_emitted_;
+  }
+
+ private:
+  /// Advance the epoch, wiping stamps on 32-bit wrap (the aliasing guard).
+  std::uint32_t advance_epoch();
+
+  const Graph* g_;
+  FrontierOptions opts_;
+  std::vector<std::uint64_t> stamp_;  ///< (epoch << 32) | owner_chunk
+  std::uint32_t epoch_ = 0;
+  std::vector<std::vector<Vertex>> buffers_;  ///< per-chunk offspring
+  std::vector<std::uint64_t> chunk_emitted_;  ///< per-chunk sink() counts
+  std::uint64_t parallel_rounds_ = 0;
+  std::uint64_t serial_rounds_ = 0;
+  std::uint64_t last_emitted_ = 0;
+};
+
+template <typename Sampler>
+void FrontierEngine::expand(std::span<const Vertex> frontier,
+                            std::vector<Vertex>& next,
+                            std::uint64_t round_seed, const Sampler& sampler) {
+  next.clear();
+  last_emitted_ = 0;
+  if (frontier.empty()) return;  // no epoch burn for extinct processes
+
+  const std::uint32_t epoch = advance_epoch();
+  const std::uint64_t epoch_bits = static_cast<std::uint64_t>(epoch) << 32;
+  const std::size_t chunk_size = opts_.chunk_size > 0 ? opts_.chunk_size : 1;
+  const std::size_t n_chunks = (frontier.size() + chunk_size - 1) / chunk_size;
+
+  // Resolve the pool lazily: a walk whose frontier never clears the
+  // threshold must not spawn the process-wide pool as a side effect.
+  par::ThreadPool* pool = nullptr;
+  bool parallel = frontier.size() >= opts_.parallel_threshold && n_chunks > 1;
+  if (parallel) {
+    pool = opts_.pool != nullptr ? opts_.pool : &par::global_pool();
+    parallel = pool->size() > 1 && !pool->on_worker_thread();
+  }
+
+  if (!parallel) {
+    ++serial_rounds_;
+    std::uint64_t emitted = 0;
+    // In-order chunk walk: "first chunk to sample u" == "min chunk", so
+    // this is definitionally the parallel result.
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      ChunkRng rng(Engine(rng::derive_seed(round_seed, c)));
+      const std::uint64_t tag = epoch_bits | c;
+      const auto sink = [&](Vertex u) {
+        ++emitted;
+        if ((stamp_[u] >> 32) != epoch) {
+          stamp_[u] = tag;
+          next.push_back(u);
+        }
+      };
+      const std::size_t lo = c * chunk_size;
+      const std::size_t hi = std::min(frontier.size(), lo + chunk_size);
+      for (std::size_t i = lo; i < hi; ++i) sampler(frontier[i], rng, sink);
+    }
+    last_emitted_ = emitted;
+    return;
+  }
+
+  ++parallel_rounds_;
+  if (buffers_.size() < n_chunks) buffers_.resize(n_chunks);
+  if (chunk_emitted_.size() < n_chunks) chunk_emitted_.resize(n_chunks);
+
+  // Pass A — sample every chunk into its own buffer; contended vertices are
+  // claimed by CAS with min-chunk-wins resolution. A chunk pushes u at most
+  // once (its claim can only be stolen by a LOWER chunk, after which every
+  // re-sample of u sees owner <= c and skips).
+  auto next_chunk = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t workers = std::min(pool->size(), n_chunks);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool->submit([this, next_chunk, n_chunks, chunk_size, frontier, epoch,
+                  epoch_bits, round_seed, &sampler] {
+      for (;;) {
+        const std::size_t c =
+            next_chunk->fetch_add(1, std::memory_order_relaxed);
+        if (c >= n_chunks) return;
+        auto& buffer = buffers_[c];
+        buffer.clear();
+        ChunkRng rng(Engine(rng::derive_seed(round_seed, c)));
+        const std::uint64_t tag = epoch_bits | c;
+        std::uint64_t emitted = 0;
+        const auto sink = [&](Vertex u) {
+          ++emitted;
+          std::atomic_ref<std::uint64_t> cell(stamp_[u]);
+          std::uint64_t cur = cell.load(std::memory_order_relaxed);
+          for (;;) {
+            if ((cur >> 32) == epoch &&
+                (cur & 0xffffffffULL) <= c) {
+              return;  // already owned by this or a lower chunk
+            }
+            if (cell.compare_exchange_weak(cur, tag,
+                                           std::memory_order_relaxed)) {
+              buffer.push_back(u);
+              return;
+            }
+          }
+        };
+        const std::size_t lo = c * chunk_size;
+        const std::size_t hi = std::min(frontier.size(), lo + chunk_size);
+        for (std::size_t i = lo; i < hi; ++i) sampler(frontier[i], rng, sink);
+        chunk_emitted_[c] = emitted;
+      }
+    });
+  }
+  pool->wait_idle();
+
+  // Pass B — deterministic merge: concatenate in chunk order, keeping only
+  // the entries each chunk still owns (stolen entries surface in the
+  // thief's buffer instead, at the position the serial pass would have
+  // produced them).
+  std::uint64_t emitted = 0;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::uint64_t tag = epoch_bits | c;
+    emitted += chunk_emitted_[c];
+    for (const Vertex u : buffers_[c]) {
+      if (stamp_[u] == tag) next.push_back(u);
+    }
+  }
+  last_emitted_ = emitted;
+}
+
+}  // namespace cobra::core

@@ -64,12 +64,9 @@ BranchingSchedule phased(std::uint32_t k1, std::uint32_t k2,
 
 GeneralizedCobraWalk::GeneralizedCobraWalk(const Graph& g, Vertex start,
                                            BranchingSchedule schedule)
-    : g_(&g), schedule_(std::move(schedule)), stamp_(g.num_vertices(), 0) {
+    : g_(&g), schedule_(std::move(schedule)), engine_(g), pick_(g) {
   if (!schedule_) {
     throw std::invalid_argument("GeneralizedCobraWalk: null schedule");
-  }
-  if (g.num_vertices() == 0) {
-    throw std::invalid_argument("GeneralizedCobraWalk: empty graph");
   }
   if (g.min_degree() == 0) {
     throw std::invalid_argument("GeneralizedCobraWalk: isolated vertex");
@@ -84,46 +81,35 @@ void GeneralizedCobraWalk::reset(Vertex start) {
 }
 
 void GeneralizedCobraWalk::reset(std::span<const Vertex> starts) {
-  frontier_.clear();
-  round_ = 0;
-  samples_ = 0;
-  if (++epoch_ == 0) {
-    stamp_.assign(stamp_.size(), 0);
-    epoch_ = 1;
-  }
   for (const Vertex v : starts) {
     if (v >= g_->num_vertices()) {
       throw std::out_of_range("GeneralizedCobraWalk::reset: out of range");
     }
-    if (stamp_[v] != epoch_) {
-      stamp_[v] = epoch_;
-      frontier_.push_back(v);
-    }
   }
+  round_ = 0;
+  samples_ = 0;
+  engine_.dedupe(starts, frontier_);
   if (frontier_.empty()) {
     throw std::invalid_argument("GeneralizedCobraWalk::reset: empty start set");
   }
 }
 
 void GeneralizedCobraWalk::step(Engine& gen) {
-  next_.clear();
-  if (++epoch_ == 0) {
-    stamp_.assign(stamp_.size(), 0);
-    epoch_ = 1;
+  if (frontier_.empty()) {  // extinct: keep the clock, skip the machinery
+    ++round_;
+    return;
   }
-  for (const Vertex v : frontier_) {
-    const std::uint32_t k = schedule_(v, round_, gen);
-    const auto nbrs = g_->neighbors(v);
-    for (std::uint32_t i = 0; i < k; ++i) {
-      const Vertex u =
-          nbrs[static_cast<std::size_t>(rng::uniform_below(gen, nbrs.size()))];
-      if (stamp_[u] != epoch_) {
-        stamp_[u] = epoch_;
-        next_.push_back(u);
-      }
-    }
-    samples_ += k;
-  }
+  const std::uint64_t round_seed = gen();
+  engine_.expand(
+      frontier_, next_, round_seed,
+      [&](Vertex v, FrontierEngine::ChunkRng& rng, auto&& sink) {
+        const std::uint32_t k = schedule_(v, round_, rng.inner());
+        const auto nbrs = g_->neighbors(v);
+        for (std::uint32_t i = 0; i < k; ++i) sink(pick_(nbrs, rng));
+      });
+  // One sink call per sample: the engine's per-chunk emit counters are the
+  // contention-free work measure for random schedules.
+  samples_ += engine_.last_emitted();
   frontier_.swap(next_);
   ++round_;
 }

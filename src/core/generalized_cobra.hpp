@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "core/frontier_engine.hpp"
 #include "core/types.hpp"
 
 /// \file generalized_cobra.hpp
@@ -23,7 +24,14 @@
 /// The cover process stays well-defined for any schedule with k >= 1
 /// always; a schedule may return 0 to model faulty vertices that drop the
 /// message (failure injection) — the walk then dies if every active vertex
-/// returns 0, which `extinct()` reports.
+/// returns 0, which `extinct()` reports. An extinct walk's step is a no-op
+/// beyond the round counter (in particular it no longer advances the dedup
+/// epoch, so stepping an extinct walk in a loop costs O(1) per call).
+///
+/// Rounds run on the shared FrontierEngine (see frontier_engine.hpp), so
+/// schedules are invoked from pool workers once the frontier is large:
+/// a schedule must be thread-safe across distinct calls — every canned
+/// schedule below is a pure function of its arguments and qualifies.
 
 namespace cobra::core {
 
@@ -73,13 +81,16 @@ class GeneralizedCobraWalk {
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
   [[nodiscard]] std::uint64_t samples_drawn() const noexcept { return samples_; }
 
+  /// The underlying step engine (chunking / pool / threshold knobs).
+  [[nodiscard]] FrontierEngine& engine() noexcept { return engine_; }
+
  private:
   const Graph* g_;
   BranchingSchedule schedule_;
+  FrontierEngine engine_;
+  NeighborSampler pick_;
   std::vector<Vertex> frontier_;
   std::vector<Vertex> next_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t epoch_ = 0;
   std::uint64_t round_ = 0;
   std::uint64_t samples_ = 0;
 };

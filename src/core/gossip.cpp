@@ -5,8 +5,7 @@
 namespace cobra::core {
 
 Gossip::Gossip(const Graph& g, Vertex start, GossipMode mode)
-    : g_(&g), mode_(mode), informed_(g.num_vertices(), 0) {
-  if (g.num_vertices() == 0) throw std::invalid_argument("Gossip: empty graph");
+    : g_(&g), mode_(mode), engine_(g), pick_(g), informed_(g.num_vertices(), 0) {
   if (g.min_degree() == 0) {
     throw std::invalid_argument("Gossip: graph has an isolated vertex");
   }
@@ -41,13 +40,16 @@ void Gossip::step(Engine& gen) {
   if (mode_ == GossipMode::Push || mode_ == GossipMode::PushPull) {
     // Snapshot semantics: only vertices informed at the START of the round
     // push this round; vertices informed mid-round wait a round, matching
-    // the synchronous model of [17]. informed_list_ grows only via
-    // newly_, so iterating the current extent gives the snapshot.
-    const std::size_t informed_at_start = informed_list_.size();
-    for (std::size_t i = 0; i < informed_at_start; ++i) {
-      const Vertex u = random_neighbor(*g_, informed_list_[i], gen);
-      if (informed_[u] == 0) newly_.push_back(u);
-    }
+    // the synchronous model of [17]. informed_ is not updated until the
+    // round's end, so the full informed_list_ is the snapshot frontier.
+    // Reading informed_[u] inside the sampler races only with the engine's
+    // stamp claims, never with writes — informs happen after the expand.
+    const std::uint64_t round_seed = gen();
+    engine_.expand(informed_list_, newly_, round_seed,
+                   [this](Vertex v, FrontierEngine::ChunkRng& rng, auto&& sink) {
+                     const Vertex u = pick_(g_->neighbors(v), rng);
+                     if (informed_[u] == 0) sink(u);
+                   });
   }
   if (mode_ == GossipMode::Pull || mode_ == GossipMode::PushPull) {
     for (Vertex v = 0; v < g_->num_vertices(); ++v) {

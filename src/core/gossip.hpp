@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "core/frontier_engine.hpp"
 #include "core/types.hpp"
 
 /// \file gossip.hpp
@@ -13,6 +14,12 @@
 /// which is exactly the structural difference the paper calls out. Push
 /// completes in O(n log n) rounds on every connected graph, the bound
 /// conjectured in §6 to hold for cobra walks too.
+///
+/// The push phase (one neighbor sample per informed vertex) runs on the
+/// shared FrontierEngine with the informed set as the frontier, so late
+/// rounds — where nearly all n vertices push — parallelize. The pull phase
+/// stays serial: it scans the uninformed complement, which shrinks as push
+/// grows and has no maintained frontier list to chunk.
 
 namespace cobra::core {
 
@@ -46,11 +53,16 @@ class Gossip {
   [[nodiscard]] GossipMode mode() const noexcept { return mode_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
+  /// The underlying step engine (chunking / pool / threshold knobs).
+  [[nodiscard]] FrontierEngine& engine() noexcept { return engine_; }
+
  private:
   void inform(Vertex v);
 
   const Graph* g_;
   GossipMode mode_;
+  FrontierEngine engine_;
+  NeighborSampler pick_;
   std::vector<std::uint8_t> informed_;
   std::vector<Vertex> informed_list_;
   std::vector<Vertex> newly_;  // scratch: vertices informed this round

@@ -49,6 +49,12 @@ void Walt::reset(std::span<const Vertex> starts) {
   rebuild_occupied();
 }
 
+// Epoch-stamp wrap audit: Walt advances the epoch twice per step (the move
+// pass and rebuild_occupied), so a 32-bit wrap arrives after 2^31 steps;
+// both advances wipe the stamp array on wrap, which keeps stale stamps from
+// aliasing the fresh epoch (the bug class the FrontierEngine centralizes
+// for the frontier processes — Walt keeps its own stamps because it also
+// uses them for per-round arrival slots, not just membership dedup).
 void Walt::rebuild_occupied() {
   occupied_.clear();
   if (++epoch_ == 0) {

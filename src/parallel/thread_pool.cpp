@@ -4,6 +4,16 @@
 
 namespace cobra::par {
 
+namespace {
+// Which pool (if any) owns the current thread. Workers set this on entry to
+// worker_loop; everything else sees nullptr.
+thread_local const ThreadPool* t_owning_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_owning_pool == this;
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::thread::hardware_concurrency();
@@ -47,6 +57,7 @@ std::size_t ThreadPool::queued() const {
 }
 
 void ThreadPool::worker_loop() {
+  t_owning_pool = this;
   for (;;) {
     std::function<void()> task;
     {

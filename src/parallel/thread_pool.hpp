@@ -40,6 +40,12 @@ class ThreadPool {
   /// outside the pool's worker threads.
   void wait_idle();
 
+  /// True iff the calling thread is one of THIS pool's workers. Lets nested
+  /// parallel constructs (e.g. a frontier step inside a Monte-Carlo trial)
+  /// detect that they are already on the pool and fall back to serial
+  /// execution instead of deadlocking in wait_idle.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Number of tasks currently queued (not including running ones).

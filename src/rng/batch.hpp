@@ -1,0 +1,76 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+/// \file batch.hpp
+/// Batched RNG buffering: wrap an engine and refill a block of raw 64-bit
+/// outputs at a time (ramping geometrically from a small first block up to
+/// N). The frontier engine hands each chunk a `Batched` view so the hot
+/// sampling loop reads from a hot cache-resident array instead of spinning
+/// the full engine state machine per draw; the engine call overhead (and
+/// the occasional Lemire rejection re-draw) is amortized over the block,
+/// while a chunk that needs only a handful of draws never pays for N.
+///
+/// Ordering guarantee: `operator()` returns the underlying engine's outputs
+/// in generation order, so `Batched<E>` is stream-equivalent to `E` — the
+/// buffering is invisible to any consumer of the values. The one exception
+/// is `inner()`, which hands out the wrapped engine directly for callers
+/// that need an `Engine&` (e.g. user-supplied branching schedules): draws
+/// from `inner()` skip ahead of any still-buffered values. That reordering
+/// is deterministic (consumption order is fixed by the caller's code path),
+/// each output is still used at most once, and the two consumers see
+/// disjoint subsequences, so reproducibility and statistical quality are
+/// both preserved.
+
+namespace cobra::rng {
+
+template <typename Engine, std::size_t N = 256>
+class Batched {
+ public:
+  using result_type = std::uint64_t;
+
+  static_assert(N >= 1, "Batched: block size must be positive");
+
+  explicit Batched(Engine engine) noexcept : engine_(std::move(engine)) {}
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    if (pos_ == filled_) refill();
+    return buffer_[pos_++];
+  }
+
+  /// Direct access to the wrapped engine (see the ordering caveat above).
+  [[nodiscard]] Engine& inner() noexcept { return engine_; }
+
+  /// Raw values still buffered (exposed for tests).
+  [[nodiscard]] std::size_t buffered() const noexcept { return filled_ - pos_; }
+
+ private:
+  void refill() noexcept {
+    // Geometric ramp-up: the first block is small so a consumer that only
+    // needs a couple of draws (tiny frontier chunk, lone surviving walker)
+    // doesn't pay for N; sustained consumers double up to the full block
+    // and get the amortization. Any refill size keeps the stream
+    // generation-ordered, so this is invisible to the values produced.
+    next_fill_ = std::min(N, next_fill_);
+    for (std::size_t i = 0; i < next_fill_; ++i) buffer_[i] = engine_();
+    filled_ = next_fill_;
+    pos_ = 0;
+    next_fill_ = std::min(N, next_fill_ * 2);
+  }
+
+  static constexpr std::size_t kInitialFill = N < 8 ? N : 8;
+
+  Engine engine_;
+  std::array<std::uint64_t, N> buffer_;  // filled before read; no zero-init
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;  // empty until first refill
+  std::size_t next_fill_ = kInitialFill;
+};
+
+}  // namespace cobra::rng

@@ -1,0 +1,209 @@
+#include "core/frontier_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/cobra_walk.hpp"
+#include "core/generalized_cobra.hpp"
+#include "graph/generators.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/distributions.hpp"
+
+namespace cobra::core {
+namespace {
+
+using graph::make_cycle;
+using graph::make_grid;
+using graph::make_hypercube;
+using graph::make_path;
+using graph::make_random_regular;
+
+constexpr std::size_t kChunk = 256;  // shared by every compared config
+
+/// k=2 cobra-style sampler over `g` (the engine's canonical workload).
+struct TwoSampler {
+  const Graph* g;
+  NeighborSampler pick;
+  template <typename Rng, typename Sink>
+  void operator()(Vertex v, Rng& rng, Sink&& sink) const {
+    const auto nbrs = g->neighbors(v);
+    sink(pick(nbrs, rng));
+    sink(pick(nbrs, rng));
+  }
+};
+
+std::vector<Vertex> run_rounds(const Graph& g, FrontierOptions opts,
+                               int rounds) {
+  FrontierEngine engine(g, opts);
+  const TwoSampler sampler{&g, NeighborSampler(g)};
+  std::vector<Vertex> frontier(g.num_vertices());
+  std::iota(frontier.begin(), frontier.end(), 0u);
+  std::vector<Vertex> next;
+  for (int r = 0; r < rounds; ++r) {
+    engine.expand(frontier, next, /*round_seed=*/0x5EED0000ULL + r, sampler);
+    frontier.swap(next);
+  }
+  return frontier;
+}
+
+TEST(FrontierEngine, ParallelBitIdenticalToSerialAcrossThreadCounts) {
+  Engine graph_gen(21);
+  const Graph g = make_random_regular(graph_gen, 20000, 4);
+
+  FrontierOptions serial;
+  serial.chunk_size = kChunk;
+  serial.parallel_threshold = static_cast<std::size_t>(-1);
+  const std::vector<Vertex> reference = run_rounds(g, serial, 6);
+  ASSERT_GT(reference.size(), 1000u);  // k=2 on an expander keeps Θ(n) alive
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    par::ThreadPool pool(threads);
+    FrontierOptions opts;
+    opts.chunk_size = kChunk;
+    opts.parallel_threshold = 1;
+    opts.pool = &pool;
+    EXPECT_EQ(run_rounds(g, opts, 6), reference) << threads << " threads";
+  }
+}
+
+TEST(FrontierEngine, ParallelPathActuallyRuns) {
+  Engine graph_gen(22);
+  const Graph g = make_random_regular(graph_gen, 20000, 4);
+  par::ThreadPool pool(2);
+  FrontierOptions opts;
+  opts.chunk_size = kChunk;
+  opts.parallel_threshold = 1;
+  opts.pool = &pool;
+  FrontierEngine engine(g, opts);
+  const TwoSampler sampler{&g, NeighborSampler(g)};
+  std::vector<Vertex> frontier(g.num_vertices());
+  std::iota(frontier.begin(), frontier.end(), 0u);
+  std::vector<Vertex> next;
+  engine.expand(frontier, next, 7, sampler);
+  EXPECT_EQ(engine.parallel_rounds(), 1u);
+  EXPECT_EQ(engine.serial_rounds(), 0u);
+}
+
+TEST(FrontierEngine, CobraWalkBitIdenticalAcrossPools) {
+  Engine graph_gen(23);
+  const Graph g = make_random_regular(graph_gen, 8192, 4);
+
+  CobraWalk serial_walk(g, 0, 3);
+  serial_walk.engine().options().chunk_size = kChunk;
+  serial_walk.engine().options().parallel_threshold =
+      static_cast<std::size_t>(-1);
+
+  par::ThreadPool pool2(2), pool8(8);
+  CobraWalk walk2(g, 0, 3), walk8(g, 0, 3);
+  walk2.engine().options() = {kChunk, 1, &pool2};
+  walk8.engine().options() = {kChunk, 1, &pool8};
+
+  Engine e_serial(99), e2(99), e8(99);
+  for (int t = 0; t < 25; ++t) {
+    serial_walk.step(e_serial);
+    walk2.step(e2);
+    walk8.step(e8);
+    const auto expected = std::vector<Vertex>(serial_walk.active().begin(),
+                                              serial_walk.active().end());
+    ASSERT_EQ(std::vector<Vertex>(walk2.active().begin(), walk2.active().end()),
+              expected)
+        << "round " << t << " (2 threads)";
+    ASSERT_EQ(std::vector<Vertex>(walk8.active().begin(), walk8.active().end()),
+              expected)
+        << "round " << t << " (8 threads)";
+  }
+  EXPECT_GT(walk2.engine().parallel_rounds(), 0u);
+  EXPECT_GT(walk8.engine().parallel_rounds(), 0u);
+}
+
+TEST(NeighborSampler, FastPathBitIdenticalToLemire) {
+  // Q_4 is 4-regular: power-of-two degree, fast path armed.
+  const Graph g = make_hypercube(4);
+  const NeighborSampler pick(g);
+  ASSERT_TRUE(pick.fast_path());
+
+  Engine fast_gen(1234), generic_gen(1234);
+  const auto nbrs = g.neighbors(5);
+  for (int i = 0; i < 50000; ++i) {
+    const Vertex fast = pick(nbrs, fast_gen);
+    const Vertex generic = nbrs[static_cast<std::size_t>(
+        rng::uniform_below(generic_gen, nbrs.size()))];
+    ASSERT_EQ(fast, generic) << "draw " << i;
+  }
+  // Identical draw counts too: the engines stay in lock-step.
+  EXPECT_EQ(fast_gen.state(), generic_gen.state());
+}
+
+TEST(NeighborSampler, FastPathIsUniform) {
+  const Graph g = make_grid(2, 64, /*torus=*/true);  // 4-regular
+  const NeighborSampler pick(g);
+  ASSERT_TRUE(pick.fast_path());
+  Engine gen(77);
+  const auto nbrs = g.neighbors(0);
+  std::vector<int> counts(nbrs.size(), 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Vertex u = pick(nbrs, gen);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      if (nbrs[j] == u) {
+        ++counts[j];
+        break;
+      }
+    }
+  }
+  const double expect = kDraws / static_cast<double>(nbrs.size());
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expect, 5.0 * std::sqrt(expect));  // ~5 sigma
+  }
+}
+
+TEST(NeighborSampler, GenericPathForNonPow2AndDegreeOne) {
+  Engine graph_gen(24);
+  EXPECT_FALSE(NeighborSampler(make_hypercube(3)).fast_path());  // 3-regular
+  EXPECT_FALSE(
+      NeighborSampler(make_random_regular(graph_gen, 100, 6)).fast_path());
+  EXPECT_FALSE(NeighborSampler(make_path(2)).fast_path());  // 1-regular
+  EXPECT_FALSE(NeighborSampler(make_path(5)).fast_path());  // irregular
+}
+
+TEST(FrontierEngine, EmptyFrontierIsFreeAndKeepsEpoch) {
+  const Graph g = make_cycle(16);
+  FrontierEngine engine(g);
+  const TwoSampler sampler{&g, NeighborSampler(g)};
+  std::vector<Vertex> next{3, 4};  // stale content must be cleared
+  engine.expand({}, next, 1, sampler);
+  EXPECT_TRUE(next.empty());
+  EXPECT_EQ(engine.serial_rounds(), 0u);
+  EXPECT_EQ(engine.parallel_rounds(), 0u);
+}
+
+TEST(FrontierEngine, ExtinctGeneralizedWalkStepsAreCheapNoOps) {
+  const Graph g = make_cycle(16);
+  GeneralizedCobraWalk walk(g, 0, schedules::faulty(2, 1.0));  // always drop
+  Engine gen(5);
+  walk.step(gen);
+  ASSERT_TRUE(walk.extinct());
+  const auto state_before = gen.state();
+  for (int t = 0; t < 100; ++t) walk.step(gen);
+  EXPECT_TRUE(walk.extinct());
+  EXPECT_EQ(walk.round(), 101u);
+  // No randomness consumed, no epoch advanced: the step is a pure counter.
+  EXPECT_EQ(gen.state(), state_before);
+}
+
+TEST(FrontierEngine, DedupeKeepsFirstOccurrence) {
+  const Graph g = make_cycle(8);
+  FrontierEngine engine(g);
+  const std::vector<Vertex> in{3, 1, 3, 2, 1, 7};
+  std::vector<Vertex> out;
+  engine.dedupe(in, out);
+  EXPECT_EQ(out, (std::vector<Vertex>{3, 1, 2, 7}));
+  // Epochs separate calls: a second dedupe starts fresh.
+  engine.dedupe(in, out);
+  EXPECT_EQ(out, (std::vector<Vertex>{3, 1, 2, 7}));
+}
+
+}  // namespace
+}  // namespace cobra::core

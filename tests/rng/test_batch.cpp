@@ -1,0 +1,62 @@
+#include "rng/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace cobra::rng {
+namespace {
+
+TEST(Batched, StreamEquivalentToWrappedEngine) {
+  Xoshiro256 raw(42);
+  Batched<Xoshiro256, 32> batched(Xoshiro256(42));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(batched(), raw()) << "draw " << i;
+  }
+}
+
+TEST(Batched, SatisfiesUint64GeneratorConcept) {
+  static_assert(Uint64Generator<Batched<Xoshiro256, 256>>);
+  static_assert(Uint64Generator<Batched<Xoshiro256, 1>>);
+  // uniform_below composes without bias over a batched view too.
+  Xoshiro256 raw(7);
+  Batched<Xoshiro256, 64> batched(Xoshiro256(7));
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(uniform_below(batched, 10), uniform_below(raw, 10));
+  }
+}
+
+TEST(Batched, RefillsRampGeometrically) {
+  Batched<Xoshiro256, 16> batched(Xoshiro256(1));
+  EXPECT_EQ(batched.buffered(), 0u);  // lazy: nothing drawn yet
+  (void)batched();
+  EXPECT_EQ(batched.buffered(), 7u);  // first block is small (8)
+  for (int i = 0; i < 7; ++i) (void)batched();
+  EXPECT_EQ(batched.buffered(), 0u);
+  (void)batched();
+  EXPECT_EQ(batched.buffered(), 15u);  // ramped to the full block
+}
+
+TEST(Batched, InnerAdvancesPastBuffer) {
+  // inner() draws come from beyond the buffered block: deterministic, and
+  // no value is handed out twice.
+  Xoshiro256 reference(9);
+  std::vector<std::uint64_t> stream;
+  for (int i = 0; i < 48; ++i) stream.push_back(reference());
+
+  Batched<Xoshiro256, 16> batched(Xoshiro256(9));
+  const std::uint64_t first = batched();      // buffers stream[0..7]
+  EXPECT_EQ(first, stream[0]);
+  const std::uint64_t inner_draw = batched.inner()();  // stream[8]
+  EXPECT_EQ(inner_draw, stream[8]);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(batched(), stream[i]);
+  // Next refill starts after the inner draw.
+  EXPECT_EQ(batched(), stream[9]);
+}
+
+}  // namespace
+}  // namespace cobra::rng
