@@ -8,7 +8,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
+#include <stdexcept>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -20,12 +22,59 @@
 
 #include "core/cover_time.hpp"
 #include "core/types.hpp"
+#include "gen/registry.hpp"
+#include "io/args.hpp"
+#include "io/graph_flag.hpp"
 #include "io/table.hpp"
 #include "parallel/monte_carlo.hpp"
 #include "stats/regression.hpp"
 #include "stats/summary.hpp"
 
 namespace cobra::bench {
+
+/// Shared bench flags. Every migrated bench accepts:
+///   --graph <spec>   construct the benched graph through the gen registry
+///                    (one construction path for benches/examples/tests)
+///   --out <path>     JSON output path (benches that record baselines)
+///   --smoke          tiny sizes / few trials — the CI bit-rot guard; must
+///                    finish in seconds and exercise the full code path
+/// Bench-specific flags ride in `extra`. On a malformed flag or spec the
+/// process prints the error plus the GraphSpec grammar and exits 1, so a
+/// typo'd sweep script fails with usage text.
+inline io::Args parse_bench_args(int argc, const char* const* argv,
+                                 std::vector<std::string> extra = {}) {
+  extra.emplace_back("graph");
+  extra.emplace_back("out");
+  extra.emplace_back("smoke");
+  try {
+    io::Args args(argc, argv, extra);
+    if (!args.positional().empty()) {
+      // The pre-migration benches took positional [out.json] [n]; silently
+      // ignoring those would overwrite recorded baselines in the cwd.
+      throw std::invalid_argument("positional argument '" +
+                                  args.positional().front() +
+                                  "' not accepted (use --out / --graph)");
+    }
+    return args;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\nflags: ";
+    for (const auto& flag : extra) std::cerr << "--" << flag << " ";
+    std::cerr << "\ngraph specs:\n" << gen::grammar_help();
+    std::exit(1);
+  }
+}
+
+/// Build --graph (or the fallback spec) through the registry, exiting with
+/// the grammar table on a bad spec (same contract as parse_bench_args).
+inline graph::Graph bench_graph(const io::Args& args,
+                                const std::string& fallback_spec) {
+  try {
+    return io::graph_from_args(args, fallback_spec);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    std::exit(1);
+  }
+}
 
 /// Machine-readable twin of the console tables: collects flat records and
 /// writes one BENCH_<name>.json file. This is how the perf trajectory is

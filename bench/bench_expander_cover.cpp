@@ -5,37 +5,51 @@
 /// report cover time, cover / ln^2 n, and fit cover = a * (ln n)^c
 /// expecting c <= 2. Also reports the measured spectral gap to certify each
 /// instance really is an expander.
+///
+/// Usage: bench_expander_cover [--trials T] [--graph <spec>] [--smoke]
+///   Sweep graphs are built through the spec registry
+///   ("rreg:n=<N>,d=<D>,seed=<S>"). --graph replaces the sweep with one
+///   registry-built graph (one table row, no fit); --smoke shrinks the
+///   sweep and trial count for CI.
 
 #include <cmath>
 
 #include "bench_common.hpp"
 
 #include "core/cover_time.hpp"
-#include "graph/generators.hpp"
 #include "graph/spectral.hpp"
 
 namespace {
 
 using namespace cobra;
 
+/// One sweep row: spectral gap + 2-cobra cover statistics for `g`.
+void add_row(io::Table& table, const graph::Graph& g, std::uint32_t trials,
+             std::uint64_t seed, std::vector<double>* ns,
+             std::vector<double>* covers) {
+  const double gap = graph::lazy_walk_spectrum(g).spectral_gap;
+  const auto cover = bench::measure(trials, seed, [&](core::Engine& gen) {
+    return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+  });
+  const double ln_n = std::log(static_cast<double>(g.num_vertices()));
+  table.add_row({io::Table::fmt_int(g.num_vertices()), io::Table::fmt(gap, 4),
+                 bench::mean_ci(cover),
+                 io::Table::fmt(cover.mean / (ln_n * ln_n), 3)});
+  if (ns != nullptr) {
+    ns->push_back(g.num_vertices());
+    covers->push_back(cover.mean);
+  }
+}
+
 void sweep_degree(std::uint32_t degree, const std::vector<std::uint32_t>& sizes,
                   std::uint32_t trials) {
   io::Table table({"n", "spectral gap", "cover", "cover / ln^2 n"});
   std::vector<double> ns, covers;
-  core::Engine graph_gen(0xE30 + degree);
   for (const std::uint32_t n : sizes) {
-    const graph::Graph g = graph::make_random_regular(graph_gen, n, degree);
-    const double gap = graph::lazy_walk_spectrum(g).spectral_gap;
-    const auto cover = bench::measure(
-        trials, 0xE31000 + n + degree, [&](core::Engine& gen) {
-          return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
-        });
-    const double ln_n = std::log(static_cast<double>(n));
-    table.add_row({io::Table::fmt_int(n), io::Table::fmt(gap, 4),
-                   bench::mean_ci(cover),
-                   io::Table::fmt(cover.mean / (ln_n * ln_n), 3)});
-    ns.push_back(n);
-    covers.push_back(cover.mean);
+    const graph::Graph g = gen::build_graph(
+        "rreg:n=" + std::to_string(n) + ",d=" + std::to_string(degree) +
+        ",seed=" + std::to_string(0xE30 + degree + n));
+    add_row(table, g, trials, 0xE31000 + n + degree, &ns, &covers);
   }
   std::cout << "random " << degree << "-regular expanders\n" << table;
   bench::print_fit("  cover vs ln n", stats::fit_polylog(ns, covers),
@@ -45,13 +59,30 @@ void sweep_degree(std::uint32_t degree, const std::vector<std::uint32_t>& sizes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const io::Args args = bench::parse_bench_args(argc, argv, {"trials"});
+  const bool smoke = args.get_bool("smoke", false);
+  const auto trials =
+      static_cast<std::uint32_t>(args.get_uint("trials", smoke ? 10 : 50));
+
   bench::print_header(
       "E3  (Corollary 9)",
       "2-cobra cover on bounded-degree expanders is O(log^2 n)");
 
-  sweep_degree(6, {128, 256, 512, 1024, 2048, 4096, 8192}, 50);
-  sweep_degree(10, {128, 256, 512, 1024, 2048, 4096, 8192}, 50);
+  if (args.has("graph")) {
+    const graph::Graph g = bench::bench_graph(args, "");
+    io::Table table({"n", "spectral gap", "cover", "cover / ln^2 n"});
+    add_row(table, g, trials, 0xE31000, nullptr, nullptr);
+    std::cout << "graph: " << io::graph_spec_from_args(args, "") << "\n"
+              << table << "\n";
+    return 0;
+  }
+
+  const std::vector<std::uint32_t> sizes =
+      smoke ? std::vector<std::uint32_t>{128, 256, 512, 1024}
+            : std::vector<std::uint32_t>{128, 256, 512, 1024, 2048, 4096, 8192};
+  sweep_degree(6, sizes, trials);
+  sweep_degree(10, sizes, trials);
 
   std::cout
       << "reading: cover/ln^2 n is flat-to-falling and the polylog exponent\n"

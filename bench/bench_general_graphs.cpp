@@ -6,24 +6,28 @@
 /// growth exponents: the random walk must show ~3 on the lollipop; the
 /// cobra walk must stay clearly below 11/4 = 2.75 (in practice far below:
 /// the bound is not tight, as the paper suspects).
+///
+/// Usage: bench_general_graphs [--trials T] [--graph <spec>] [--smoke]
+///   Sweep graphs are built through the spec registry ("lollipop:n=<N>",
+///   "barbell:n=<N>", "dclique:n=<N>"). --graph replaces the sweeps with
+///   one registry-built graph; --smoke shrinks sizes/trials for CI.
 
 #include "bench_common.hpp"
 
 #include "core/cover_time.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
 using namespace cobra;
 
-void sweep(const std::string& label,
-           const std::function<graph::Graph(std::uint32_t)>& make,
+void sweep(const std::string& label, const std::string& family,
            const std::vector<std::uint32_t>& sizes, std::uint32_t trials,
            bool include_rw, std::uint64_t seed) {
   io::Table table({"n", "cobra cover", "cobra/n", "rw cover", "rw/n^3"});
   std::vector<double> ns, cobra_means, rw_means;
   for (const std::uint32_t n : sizes) {
-    const graph::Graph g = make(n);
+    const graph::Graph g =
+        gen::build_graph(family + ":n=" + std::to_string(n));
     const auto cobra =
         bench::measure(trials, seed + n, [&](core::Engine& gen) {
           return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
@@ -56,22 +60,45 @@ void sweep(const std::string& label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const io::Args args = bench::parse_bench_args(argc, argv, {"trials"});
+  const bool smoke = args.get_bool("smoke", false);
+  const auto trials =
+      static_cast<std::uint32_t>(args.get_uint("trials", smoke ? 8 : 30));
+
   bench::print_header(
       "E5  (Theorem 20)",
       "general graphs: 2-cobra cover is O(n^{11/4} log n) vs RW Theta(n^3)");
 
+  if (args.has("graph")) {
+    const graph::Graph g = bench::bench_graph(args, "");
+    const auto cobra = bench::measure(trials, 0xE51000, [&](core::Engine& gen) {
+      return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+    });
+    const auto rw = bench::measure(trials, 0xE52000, [&](core::Engine& gen) {
+      return static_cast<double>(core::random_walk_cover(g, 0, gen).steps);
+    });
+    io::Table table({"n", "cobra cover", "rw cover"});
+    table.add_row({io::Table::fmt_int(g.num_vertices()), bench::mean_ci(cobra),
+                   bench::mean_ci(rw)});
+    std::cout << "graph: " << io::graph_spec_from_args(args, "") << "\n"
+              << table << "\n";
+    return 0;
+  }
+
+  const std::vector<std::uint32_t> sweep_sizes =
+      smoke ? std::vector<std::uint32_t>{30, 60}
+            : std::vector<std::uint32_t>{30, 60, 90, 120, 180};
   sweep("lollipop L(n): clique 2n/3 + path n/3 (RW's Theta(n^3) witness)",
-        [](std::uint32_t n) { return graph::make_lollipop(2 * n / 3, n / 3); },
-        {30, 60, 90, 120, 180}, 30, /*include_rw=*/true, 0xE51000);
+        "lollipop", sweep_sizes, trials, /*include_rw=*/true, 0xE51000);
 
-  sweep("barbell: two cliques n/3 + path n/3",
-        [](std::uint32_t n) { return graph::make_barbell(n / 3, n / 3); },
-        {30, 60, 90, 120, 180}, 30, /*include_rw=*/true, 0xE52000);
+  sweep("barbell: two cliques n/3 + path n/3", "barbell", sweep_sizes, trials,
+        /*include_rw=*/true, 0xE52000);
 
-  sweep("double clique (cut vertex)",
-        [](std::uint32_t n) { return graph::make_double_clique(n / 2); },
-        {40, 80, 160, 320}, 30, /*include_rw=*/false, 0xE53000);
+  sweep("double clique (cut vertex)", "dclique",
+        smoke ? std::vector<std::uint32_t>{40, 80}
+              : std::vector<std::uint32_t>{40, 80, 160, 320},
+        trials, /*include_rw=*/false, 0xE53000);
 
   std::cout
       << "reading: the random walk exponent approaches 3 on the lollipop -\n"

@@ -5,7 +5,11 @@
 /// schedule shows the straggler penalty the dynamic one avoids.
 /// Results go to BENCH_parallel_scaling.json for the perf trajectory.
 ///
-/// Usage: bench_parallel_scaling [out.json] [trials]
+/// Usage: bench_parallel_scaling [--out path] [--trials T]
+///        [--graph <spec>] [--smoke]
+///   Default graph: grid:side=48,dims=2 (the paper's E1 topology at a
+///   size whose cover time is ~ms per trial). --smoke shrinks to a 16x16
+///   grid and 48 trials for CI.
 
 #include <chrono>
 #include <cstdlib>
@@ -14,7 +18,6 @@
 #include "bench_common.hpp"
 
 #include "core/cover_time.hpp"
-#include "graph/generators.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -42,12 +45,12 @@ double timed_run(std::size_t threads, bool dynamic, const graph::Graph& g,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : std::string("BENCH_parallel_scaling.json");
-  const int trials_arg = argc > 2 ? std::atoi(argv[2]) : 384;
+  const io::Args args = bench::parse_bench_args(argc, argv, {"trials"});
+  const bool smoke = args.get_bool("smoke", false);
+  const std::string out_path = args.get("out", "BENCH_parallel_scaling.json");
+  const auto trials_arg = args.get_uint("trials", smoke ? 48 : 384);
   if (trials_arg < 1 || trials_arg > 1000000) {
-    std::cerr << "bench_parallel_scaling: trials must be in [1, 1000000], got "
-              << (argc > 2 ? argv[2] : "?") << "\n";
+    std::cerr << "bench_parallel_scaling: --trials must be in [1, 1000000]\n";
     return 1;
   }
   const auto trials = static_cast<std::uint32_t>(trials_arg);
@@ -56,12 +59,16 @@ int main(int argc, char** argv) {
       "A3  (systems)",
       "strong scaling of the Monte-Carlo driver (fixed trial budget)");
 
-  const graph::Graph g = graph::make_grid(2, 48);
+  const std::string default_spec =
+      smoke ? "grid:side=16,dims=2" : "grid:side=48,dims=2";
+  const std::string spec = io::graph_spec_from_args(args, default_spec);
+  const graph::Graph g = bench::bench_graph(args, default_spec);
 
   bench::JsonReporter json("parallel_scaling");
-  json.context("graph", std::string("grid2d_48"));
+  json.context("graph", spec);
   json.context("vertices", static_cast<double>(g.num_vertices()));
   json.context("trials", static_cast<double>(trials));
+  if (smoke) json.context("smoke", 1.0);
 
   // Warm-up run so first-touch page faults don't pollute the 1-thread row.
   (void)timed_run(2, true, g, trials / 6 + 1);

@@ -1,6 +1,6 @@
 /// A2 — systems micro-benchmark: raw per-round throughput of the frontier
 /// step engine, serial path vs pool-parallel path, on the fixed graph
-/// suite (ring, 2D grid, random 4-regular, G(n,p)). Reported counters:
+/// suite (ring, 2D torus, random 4-regular, G(n,p)). Reported counters:
 ///   * steps/s    — frontier rounds per second
 ///   * samples/s  — neighbor draws per second (the cobra work unit)
 ///
@@ -10,8 +10,12 @@
 /// estimate. Results go to BENCH_step_throughput.json (the perf
 /// trajectory's anchor file; see EXPERIMENTS.md A2 for commentary).
 ///
-/// Usage: bench_step_throughput [out.json] [n_exponent]
-///   default n = 2^20 vertices per graph, JSON to BENCH_step_throughput.json.
+/// Usage: bench_step_throughput [--out path] [--nexp E] [--graph <spec>
+///        [--warm W]] [--smoke]
+///   Default: the 4-graph suite at n = 2^nexp (nexp = 20), JSON to
+///   BENCH_step_throughput.json. --graph replaces the suite with one
+///   registry-built graph; --smoke shrinks to n = 2^14 and 5 timed rounds
+///   (the CI bit-rot guard).
 
 #include <chrono>
 #include <cstdlib>
@@ -23,8 +27,6 @@
 
 #include "core/cobra_walk.hpp"
 #include "core/frontier_engine.hpp"
-#include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -33,39 +35,46 @@ using namespace cobra;
 
 struct SuiteGraph {
   std::string name;
+  std::string spec;
   graph::Graph g;
   // Warm rounds before timing, and the parallel threshold for the pool
   // rows. Expanders reach their Θ(n) frontier fixed point in O(log n)
   // rounds and use the engine default. The torus frontier is a locality-
-  // bound ball boundary that grows only linearly per round (~2k vertices
-  // after 150 rounds), so with the default threshold its pool rows would
-  // silently measure the serial path while reporting thread counts; a
-  // lower threshold makes them genuinely exercise the pool at the
-  // frontier scale the topology produces. The ring's ~24-vertex frontier
-  // stays serial under any sane threshold — its pool rows are labelled by
-  // the engine's parallel_rounds counter in the JSON instead.
+  // bound ball boundary that grows only linearly per round (~9.5k
+  // vertices after the 150-round warm at n = 2^20, hovering near the
+  // default threshold of 8192), so with the default threshold its pool
+  // rows would flap across the serial/parallel boundary while reporting
+  // thread counts; the lowered threshold keeps them decisively on the
+  // pool path at the frontier scale the topology produces. The ring's
+  // ~24-vertex frontier stays serial under any sane threshold — its pool
+  // rows are labelled by the engine's parallel_rounds counter in the
+  // JSON instead.
   int warm;
   std::size_t parallel_threshold;
 };
 
+/// The fixed suite, every graph built through the spec registry — the same
+/// path `--graph` uses.
 std::vector<SuiteGraph> make_suite(std::uint32_t n) {
-  core::Engine gen(0xA2);
   const core::FrontierOptions defaults;
+  const std::string ns = std::to_string(n);
+
   std::vector<SuiteGraph> suite;
-  suite.push_back({"ring", graph::make_cycle(n), 40, defaults.parallel_threshold});
-  // 2D torus with side^2 ~= n keeps the suite size-comparable and regular.
-  std::uint32_t side = 1;
-  while (static_cast<std::uint64_t>(side + 1) * (side + 1) <= n) ++side;
-  suite.push_back(
-      {"grid2d_torus", graph::make_grid(2, side, /*torus=*/true), 150, 1024});
-  suite.push_back({"random_4_regular", graph::make_random_regular(gen, n, 4),
-                   40, defaults.parallel_threshold});
+  auto add = [&](std::string name, std::string spec, int warm,
+                 std::size_t threshold) {
+    graph::Graph g = gen::build_graph(spec);
+    suite.push_back(
+        {std::move(name), std::move(spec), std::move(g), warm, threshold});
+  };
+  add("ring", "ring:n=" + ns, 40, defaults.parallel_threshold);
+  // The registry's n sugar picks the largest side with side^2 <= n.
+  add("grid2d_torus", "torus:n=" + ns + ",dims=2", 150, 1024);
+  add("random_4_regular", "rreg:n=" + ns + ",d=4,seed=162", 40,
+      defaults.parallel_threshold);
   // G(n, p) at average degree 16: above the connectivity threshold, but the
-  // walk needs min degree >= 1, so take the largest component.
-  const double p = 16.0 / static_cast<double>(n);
-  const graph::Graph gnp = graph::make_erdos_renyi(gen, n, p);
-  suite.push_back({"gnp_avg16", graph::largest_component(gnp).graph, 40,
-                   defaults.parallel_threshold});
+  // walk needs min degree >= 1, so keep the largest component (lcc).
+  add("gnp_avg16", "gnp:n=" + ns + ",avg_deg=16,seed=162,lcc=1", 40,
+      defaults.parallel_threshold);
   return suite;
 }
 
@@ -104,39 +113,56 @@ Measurement run_config(const graph::Graph& g, core::FrontierOptions opts,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const io::Args args = bench::parse_bench_args(argc, argv, {"nexp", "warm"});
+  const bool smoke = args.get_bool("smoke", false);
   const std::string out_path =
-      argc > 1 ? argv[1] : std::string("BENCH_step_throughput.json");
-  const int n_exp = argc > 2 ? std::atoi(argv[2]) : 20;
+      args.get("out", "BENCH_step_throughput.json");
+  const auto n_exp = args.get_uint("nexp", smoke ? 14 : 20);
   if (n_exp < 4 || n_exp > 26) {
-    std::cerr << "bench_step_throughput: n_exponent must be in [4, 26], got "
-              << (argc > 2 ? argv[2] : "?") << "\n";
+    std::cerr << "bench_step_throughput: --nexp must be in [4, 26]\n";
     return 1;
   }
   const auto n = static_cast<std::uint32_t>(1u << n_exp);
-  constexpr int kTimed = 15;
+  const int timed = smoke ? 5 : 15;
 
   bench::print_header(
       "A2  (systems)",
       "frontier step throughput: serial path vs FrontierEngine pool path");
 
   bench::JsonReporter json("step_throughput");
-  json.context("n", static_cast<double>(n));
   json.context("branching", 2.0);
-  json.context("timed_rounds", static_cast<double>(kTimed));
+  json.context("timed_rounds", static_cast<double>(timed));
+  if (smoke) json.context("smoke", 1.0);
 
-  const auto suite = make_suite(n);
-  for (const auto& [name, g, warm, threshold] : suite) {
+  std::vector<SuiteGraph> suite;
+  if (args.has("graph")) {
+    // Single-graph mode: bench exactly the spec the caller named (--nexp
+    // is a suite-mode knob and plays no part here; the context records
+    // the spec and the realized vertex count instead).
+    const std::string spec = io::graph_spec_from_args(args, "");
+    const core::FrontierOptions defaults;
+    suite.push_back({spec, spec, bench::bench_graph(args, spec),
+                     static_cast<int>(args.get_uint("warm", 40)),
+                     defaults.parallel_threshold});
+    json.context("graph", spec);
+    json.context("n", static_cast<double>(suite.front().g.num_vertices()));
+  } else {
+    json.context("n", static_cast<double>(n));
+    suite = make_suite(n);
+  }
+
+  for (const auto& [name, spec, g, warm, threshold] : suite) {
     io::Table table({"config", "steps/s", "Msamples/s", "mean frontier",
                      "par rounds", "speedup vs serial"});
 
     // Serial baseline: threshold = infinity forces the in-line path.
     core::FrontierOptions serial_opts;
     serial_opts.parallel_threshold = static_cast<std::size_t>(-1);
-    const Measurement serial = run_config(g, serial_opts, warm, kTimed);
+    const Measurement serial = run_config(g, serial_opts, warm, timed);
 
     auto report = [&](const std::string& config, std::size_t threads,
                       const Measurement& m) {
-      const double steps_per_sec = kTimed / m.seconds;
+      const double steps_per_sec = timed / m.seconds;
       const double speedup = serial.seconds / m.seconds;
       table.add_row({config, io::Table::fmt(steps_per_sec, 1),
                      io::Table::fmt(static_cast<double>(m.samples) / m.seconds / 1e6, 1),
@@ -145,6 +171,7 @@ int main(int argc, char** argv) {
                      io::Table::fmt(speedup, 2) + "x"});
       json.record(name + "/" + config)
           .field("graph", name)
+          .field("spec", spec)
           .field("vertices", static_cast<double>(g.num_vertices()))
           .field("arcs", static_cast<double>(g.num_arcs()))
           .field("threads", static_cast<double>(threads))
@@ -164,11 +191,12 @@ int main(int argc, char** argv) {
       opts.pool = &pool;
       opts.parallel_threshold = threshold;
       report("pool" + std::to_string(threads), threads,
-             run_config(g, opts, warm, kTimed));
+             run_config(g, opts, warm, timed));
     }
 
-    std::cout << "graph: " << name << "  (n = " << g.num_vertices()
-              << ", arcs = " << g.num_arcs() << ")\n"
+    std::cout << "graph: " << name << "  (spec: " << spec
+              << ", n = " << g.num_vertices() << ", arcs = " << g.num_arcs()
+              << ")\n"
               << table << "\n";
   }
 

@@ -3,10 +3,13 @@
 /// example; the bench/ binaries are scripted versions of specific slices.
 ///
 ///   $ ./cover_time_explorer --family grid --n 1024 --k 2 --trials 100
-///   $ ./cover_time_explorer --family lollipop --process rw --trials 20
-///   $ ./cover_time_explorer --family regular --degree 6 --process walt
+///   $ ./cover_time_explorer --graph rreg:n=4096,d=6,seed=7 --process walt
+///   $ ./cover_time_explorer --graph "gnp:n=2^16,avg_deg=8,lcc=1"
 ///
 /// Flags:
+///   --graph     a GraphSpec string built through the gen registry (run
+///               with a bad spec to print the grammar table); overrides
+///               --family
 ///   --family    path|cycle|complete|star|grid|grid3|torus|hypercube|tree|
 ///               lollipop|barbell|regular|er|powerlaw|ba|geometric  [grid]
 ///   --file      load an edge-list file instead of generating (see
@@ -34,6 +37,7 @@
 #include "graph/generators.hpp"
 #include "graph/spectral.hpp"
 #include "io/args.hpp"
+#include "io/graph_flag.hpp"
 #include "io/graph_io.hpp"
 #include "io/table.hpp"
 #include "parallel/monte_carlo.hpp"
@@ -131,8 +135,8 @@ double run_process(const std::string& process, const graph::Graph& g,
 
 int main(int argc, char** argv) {
   const io::Args args(argc, argv,
-                      {"family", "process", "n", "k", "degree", "trials",
-                       "seed", "curve", "file", "precision"});
+                      {"family", "graph", "process", "n", "k", "degree",
+                       "trials", "seed", "curve", "file", "precision"});
   const std::string family = args.get("family", "grid");
   const std::string process = args.get("process", "cobra");
   const auto n = static_cast<std::uint32_t>(args.get_uint("n", 1024));
@@ -143,13 +147,26 @@ int main(int argc, char** argv) {
   const bool curve = args.get_bool("curve", false);
 
   core::Engine graph_gen(seed);
-  const graph::Graph g =
-      args.has("file")
-          ? graph::largest_component(io::load_edge_list(args.get("file", "")))
-                .graph
-          : build_family(family, n, degree, graph_gen);
+  graph::Graph g;
+  if (args.has("graph")) {
+    try {
+      g = io::graph_from_args(args, "");
+    } catch (const std::invalid_argument& e) {
+      // Same contract as the benches: a typo'd spec prints the grammar
+      // table (graph_from_args appends it) and exits cleanly.
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+  } else if (args.has("file")) {
+    g = graph::largest_component(io::load_edge_list(args.get("file", "")))
+            .graph;
+  } else {
+    g = build_family(family, n, degree, graph_gen);
+  }
 
-  std::cout << "family = " << family << ", n = " << g.num_vertices()
+  std::cout << "family = "
+            << (args.has("graph") ? args.get("graph", "") : family)
+            << ", n = " << g.num_vertices()
             << ", m = " << g.num_edges() << ", degrees in ["
             << g.min_degree() << ", " << g.max_degree() << "]\n";
   if (g.num_vertices() <= 4096) {

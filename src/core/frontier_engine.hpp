@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstdint>
@@ -203,15 +204,16 @@ void FrontierEngine::expand(std::span<const Vertex> frontier,
   // Pass A — sample every chunk into its own buffer; contended vertices are
   // claimed by CAS with min-chunk-wins resolution. A chunk pushes u at most
   // once (its claim can only be stolen by a LOWER chunk, after which every
-  // re-sample of u sees owner <= c and skips).
-  auto next_chunk = std::make_shared<std::atomic<std::size_t>>(0);
+  // re-sample of u sees owner <= c and skips). The cursor lives on this
+  // frame: wait_idle() below outlives every task that references it.
+  std::atomic<std::size_t> next_chunk{0};
   const std::size_t workers = std::min(pool->size(), n_chunks);
   for (std::size_t w = 0; w < workers; ++w) {
-    pool->submit([this, next_chunk, n_chunks, chunk_size, frontier, epoch,
+    pool->submit([this, &next_chunk, n_chunks, chunk_size, frontier, epoch,
                   epoch_bits, round_seed, &sampler] {
       for (;;) {
         const std::size_t c =
-            next_chunk->fetch_add(1, std::memory_order_relaxed);
+            next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (c >= n_chunks) return;
         auto& buffer = buffers_[c];
         buffer.clear();

@@ -1,5 +1,6 @@
 #include "core/gossip.hpp"
 
+#include <numeric>
 #include <stdexcept>
 
 namespace cobra::core {
@@ -13,6 +14,10 @@ Gossip::Gossip(const Graph& g, Vertex start, GossipMode mode)
     throw std::out_of_range("Gossip: start out of range");
   }
   informed_list_.reserve(g.num_vertices());
+  uninformed_list_.resize(g.num_vertices());
+  std::iota(uninformed_list_.begin(), uninformed_list_.end(), Vertex{0});
+  uninformed_pos_.resize(g.num_vertices());
+  std::iota(uninformed_pos_.begin(), uninformed_pos_.end(), 0u);
   inform(start);
 }
 
@@ -22,28 +27,36 @@ void Gossip::reset(Vertex start) {
   }
   informed_.assign(informed_.size(), 0);
   informed_list_.clear();
+  uninformed_list_.resize(g_->num_vertices());
+  std::iota(uninformed_list_.begin(), uninformed_list_.end(), Vertex{0});
+  std::iota(uninformed_pos_.begin(), uninformed_pos_.end(), 0u);
   round_ = 0;
   inform(start);
 }
 
 void Gossip::inform(Vertex v) {
-  if (informed_[v] == 0) {
-    informed_[v] = 1;
-    informed_list_.push_back(v);
-  }
+  if (informed_[v] != 0) return;
+  informed_[v] = 1;
+  informed_list_.push_back(v);
+  // Swap-remove from the uninformed list; the resulting order is a pure
+  // function of the inform sequence, so pull rounds stay deterministic.
+  const std::uint32_t pos = uninformed_pos_[v];
+  const Vertex last = uninformed_list_.back();
+  uninformed_list_[pos] = last;
+  uninformed_pos_[last] = pos;
+  uninformed_list_.pop_back();
 }
 
 void Gossip::step(Engine& gen) {
   ++round_;
   newly_.clear();
+  pull_newly_.clear();
 
+  // Snapshot semantics: only the sets as of the START of the round act,
+  // matching the synchronous model of [17] — informed_ is not written until
+  // both phases have expanded, so push pushes from the full informed list
+  // and pull polls against the same frozen informed_ array.
   if (mode_ == GossipMode::Push || mode_ == GossipMode::PushPull) {
-    // Snapshot semantics: only vertices informed at the START of the round
-    // push this round; vertices informed mid-round wait a round, matching
-    // the synchronous model of [17]. informed_ is not updated until the
-    // round's end, so the full informed_list_ is the snapshot frontier.
-    // Reading informed_[u] inside the sampler races only with the engine's
-    // stamp claims, never with writes — informs happen after the expand.
     const std::uint64_t round_seed = gen();
     engine_.expand(informed_list_, newly_, round_seed,
                    [this](Vertex v, FrontierEngine::ChunkRng& rng, auto&& sink) {
@@ -52,13 +65,18 @@ void Gossip::step(Engine& gen) {
                    });
   }
   if (mode_ == GossipMode::Pull || mode_ == GossipMode::PushPull) {
-    for (Vertex v = 0; v < g_->num_vertices(); ++v) {
-      if (informed_[v] != 0) continue;
-      const Vertex u = random_neighbor(*g_, v, gen);
-      if (informed_[u] != 0) newly_.push_back(v);
-    }
+    // The maintained uninformed list is the pull frontier: each uninformed
+    // vertex polls one random neighbor and adopts if that neighbor knows.
+    // No scan of the n - |uninformed| informed vertices happens at all.
+    const std::uint64_t round_seed = gen();
+    engine_.expand(uninformed_list_, pull_newly_, round_seed,
+                   [this](Vertex v, FrontierEngine::ChunkRng& rng, auto&& sink) {
+                     const Vertex u = pick_(g_->neighbors(v), rng);
+                     if (informed_[u] != 0) sink(v);
+                   });
   }
   for (const Vertex v : newly_) inform(v);
+  for (const Vertex v : pull_newly_) inform(v);
 }
 
 }  // namespace cobra::core

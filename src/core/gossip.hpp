@@ -15,11 +15,13 @@
 /// completes in O(n log n) rounds on every connected graph, the bound
 /// conjectured in §6 to hold for cobra walks too.
 ///
-/// The push phase (one neighbor sample per informed vertex) runs on the
-/// shared FrontierEngine with the informed set as the frontier, so late
-/// rounds — where nearly all n vertices push — parallelize. The pull phase
-/// stays serial: it scans the uninformed complement, which shrinks as push
-/// grows and has no maintained frontier list to chunk.
+/// Both phases run on the shared FrontierEngine. Push expands the informed
+/// set (one neighbor sample per informed vertex); pull expands the
+/// maintained UNINFORMED list — each uninformed vertex polls one neighbor,
+/// and the engine's chunked determinism applies symmetrically. The two
+/// lists are complementary frontiers: push work grows toward n while pull
+/// work shrinks toward 0, so a round is O(|informed| + |uninformed|)
+/// sampled work with no O(n) full-vertex scan anywhere.
 
 namespace cobra::core {
 
@@ -40,6 +42,12 @@ class Gossip {
   /// All informed vertices (monotonically growing).
   [[nodiscard]] std::span<const Vertex> active() const noexcept {
     return informed_list_;
+  }
+
+  /// All uninformed vertices — the pull phase's frontier (order is an
+  /// implementation detail; content is what callers may rely on).
+  [[nodiscard]] std::span<const Vertex> uninformed() const noexcept {
+    return uninformed_list_;
   }
 
   [[nodiscard]] bool is_informed(Vertex v) const { return informed_[v] != 0; }
@@ -65,7 +73,10 @@ class Gossip {
   NeighborSampler pick_;
   std::vector<std::uint8_t> informed_;
   std::vector<Vertex> informed_list_;
-  std::vector<Vertex> newly_;  // scratch: vertices informed this round
+  std::vector<Vertex> uninformed_list_;
+  std::vector<std::uint32_t> uninformed_pos_;  ///< index of v in uninformed_list_
+  std::vector<Vertex> newly_;       // scratch: push offspring this round
+  std::vector<Vertex> pull_newly_;  // scratch: pull adopters this round
   std::uint64_t round_ = 0;
 };
 

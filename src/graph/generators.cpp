@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <set>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "gen/families.hpp"
 #include "graph/builder.hpp"
 #include "graph/grid_coords.hpp"
 #include "rng/distributions.hpp"
@@ -160,110 +160,22 @@ Graph make_barbell(std::uint32_t clique_size, std::uint32_t path_length) {
 
 Graph make_random_regular(rng::Xoshiro256& gen, std::uint32_t n,
                           std::uint32_t degree, std::uint32_t max_attempts) {
-  if (degree >= n) throw std::invalid_argument("make_random_regular: d < n");
-  if ((static_cast<std::uint64_t>(n) * degree) % 2 != 0) {
-    throw std::invalid_argument("make_random_regular: n*d must be even");
-  }
-  // Configuration model with edge-swap repair. A raw uniform pairing of the
-  // n*d half-edge stubs contains Θ(d^2) self-loops and parallel edges in
-  // expectation, so retry-until-simple is hopeless beyond small d (success
-  // probability ~ e^{-(d^2-1)/4}). Instead we repair: every defective edge
-  // is double-swapped with a uniformly random partner edge, which preserves
-  // the degree sequence exactly and (by the standard switching argument)
-  // leaves the distribution asymptotically uniform over simple d-regular
-  // graphs — amply uniform for our purposes, since the experiments measure
-  // conductance on the realized graph rather than assuming it.
-  std::vector<Vertex> stubs(static_cast<std::size_t>(n) * degree);
-  for (std::uint32_t v = 0; v < n; ++v) {
-    std::fill_n(stubs.begin() + static_cast<std::ptrdiff_t>(v) * degree, degree,
-                v);
-  }
-  rng::shuffle(gen, std::span<Vertex>(stubs));
-
-  const std::size_t num_edges = stubs.size() / 2;
-  std::vector<std::pair<Vertex, Vertex>> edges(num_edges);
-  std::set<std::pair<Vertex, Vertex>> present;  // canonical forms of clean edges
-  std::vector<char> bad(num_edges, 0);
-  auto canonical = [](Vertex a, Vertex b) {
-    return a < b ? std::pair{a, b} : std::pair{b, a};
-  };
-  std::vector<std::size_t> defective;
-  for (std::size_t i = 0; i < num_edges; ++i) {
-    edges[i] = {stubs[2 * i], stubs[2 * i + 1]};
-    const auto [a, b] = edges[i];
-    // A defective edge (self-loop, or duplicate copy of an edge already in
-    // `present`) owns no entry in `present`.
-    if (a == b || !present.insert(canonical(a, b)).second) {
-      bad[i] = 1;
-      defective.push_back(i);
-    }
-  }
-
-  // Each pass re-swaps the remaining defective edges against random clean
-  // partners: defective (u,v) + clean (x,y) -> (u,x) + (v,y), accepted only
-  // when both new edges are loop-free and previously absent. Degrees are
-  // preserved by construction.
-  for (std::uint32_t pass = 0; pass < max_attempts && !defective.empty();
-       ++pass) {
-    std::vector<std::size_t> still_bad;
-    for (const std::size_t i : defective) {
-      const auto [u, v] = edges[i];
-      const auto j =
-          static_cast<std::size_t>(rng::uniform_below(gen, num_edges));
-      const auto [x, y] = edges[j];
-      if (j == i || bad[j] != 0 || u == x || v == y ||
-          canonical(u, x) == canonical(v, y) ||
-          present.contains(canonical(u, x)) ||
-          present.contains(canonical(v, y))) {
-        still_bad.push_back(i);
-        continue;
-      }
-      // Defective edge i owns no `present` entry; clean partner j does.
-      present.erase(canonical(x, y));
-      present.insert(canonical(u, x));
-      present.insert(canonical(v, y));
-      edges[i] = {u, x};
-      edges[j] = {v, y};
-      bad[i] = 0;
-    }
-    defective.swap(still_bad);
-  }
-  if (!defective.empty()) {
-    throw std::runtime_error(
-        "make_random_regular: repair failed; degree too large for n?");
-  }
-
-  GraphBuilder b(n);
-  b.reserve(num_edges);
-  for (const auto& [u, v] : edges) b.add_edge(u, v);
-  return b.build();
+  // Thin wrapper over gen::random_regular (hashed-key stub permutation +
+  // edge-swap repair; see make_erdos_renyi above for the seed-drawing
+  // rationale). max_attempts bounds the repair passes.
+  gen::GenOptions opts;
+  opts.serial = true;
+  return gen::random_regular(n, degree, gen(), opts, max_attempts);
 }
 
 Graph make_erdos_renyi(rng::Xoshiro256& gen, std::uint32_t n, double p) {
-  if (p < 0.0 || p > 1.0) throw std::invalid_argument("make_erdos_renyi: p in [0,1]");
-  GraphBuilder b(n);
-  if (p <= 0.0 || n < 2) return b.build();
-  if (p >= 1.0) return make_complete(n);
-
-  // Geometric skipping (Batagelj–Brandes): iterate only over present edges,
-  // O(n + m) instead of O(n^2).
-  const double log_q = std::log1p(-p);
-  std::uint64_t v = 1, w = static_cast<std::uint64_t>(-1);
-  const std::uint64_t total = n;
-  while (v < total) {
-    const double r = rng::uniform_unit(gen);
-    const auto skip =
-        static_cast<std::uint64_t>(std::floor(std::log1p(-r) / log_q));
-    w += 1 + skip;
-    while (w >= v && v < total) {
-      w -= v;
-      ++v;
-    }
-    if (v < total) {
-      b.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(w));
-    }
-  }
-  return b.build();
+  // Thin wrapper over the chunked skip-sampling generator in src/gen/: one
+  // seed drawn from the caller's engine keeps the "deterministic function
+  // of the passed engine state" contract, and the in-line path keeps this
+  // signature pool-free (spec-built graphs get the parallel path).
+  gen::GenOptions opts;
+  opts.serial = true;
+  return gen::gnp(n, p, gen(), opts);
 }
 
 Graph make_chung_lu_power_law(rng::Xoshiro256& gen, std::uint32_t n, double gamma,
@@ -355,55 +267,11 @@ Graph make_barabasi_albert(rng::Xoshiro256& gen, std::uint32_t n,
 }
 
 Graph make_random_geometric(rng::Xoshiro256& gen, std::uint32_t n, double radius) {
-  if (radius <= 0.0 || radius > 1.5) {
-    throw std::invalid_argument("make_random_geometric: radius in (0, 1.5]");
-  }
-  std::vector<double> xs(n), ys(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    xs[i] = rng::uniform_unit(gen);
-    ys[i] = rng::uniform_unit(gen);
-  }
-  // Cell grid of side `radius`: only points in the 3x3 neighborhood of a
-  // cell can be within `radius`.
-  const auto cells_per_axis =
-      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(1.0 / radius));
-  const double cell_width = 1.0 / cells_per_axis;
-  std::vector<std::vector<Vertex>> cells(
-      static_cast<std::size_t>(cells_per_axis) * cells_per_axis);
-  auto cell_of = [&](std::uint32_t i) {
-    auto cx = static_cast<std::uint32_t>(xs[i] / cell_width);
-    auto cy = static_cast<std::uint32_t>(ys[i] / cell_width);
-    cx = std::min(cx, cells_per_axis - 1);
-    cy = std::min(cy, cells_per_axis - 1);
-    return std::pair{cx, cy};
-  };
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const auto [cx, cy] = cell_of(i);
-    cells[static_cast<std::size_t>(cy) * cells_per_axis + cx].push_back(i);
-  }
-  const double r2 = radius * radius;
-  GraphBuilder b(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const auto [cx, cy] = cell_of(i);
-    for (int dy = -1; dy <= 1; ++dy) {
-      for (int dx = -1; dx <= 1; ++dx) {
-        const std::int64_t nx = static_cast<std::int64_t>(cx) + dx;
-        const std::int64_t ny = static_cast<std::int64_t>(cy) + dy;
-        if (nx < 0 || ny < 0 || nx >= cells_per_axis || ny >= cells_per_axis) {
-          continue;
-        }
-        for (const Vertex j :
-             cells[static_cast<std::size_t>(ny) * cells_per_axis +
-                   static_cast<std::size_t>(nx)]) {
-          if (j <= i) continue;  // emit each pair once
-          const double ddx = xs[i] - xs[j];
-          const double ddy = ys[i] - ys[j];
-          if (ddx * ddx + ddy * ddy <= r2) b.add_edge(i, j);
-        }
-      }
-    }
-  }
-  return b.build();
+  // Thin wrapper over the grid-bucketed generator in src/gen/ (see
+  // make_erdos_renyi above for the seed-drawing rationale).
+  gen::GenOptions opts;
+  opts.serial = true;
+  return gen::random_geometric(n, radius, gen(), opts);
 }
 
 Graph make_double_clique(std::uint32_t clique_size) {

@@ -66,16 +66,19 @@ namespace cobra::graph {
                                  std::uint32_t path_length);
 
 /// Random d-regular simple graph via the configuration model with
-/// retry-until-simple. Requires n*d even, d < n, and (for practical retry
-/// counts) d <= ~O(sqrt(n)); throws std::runtime_error if a simple graph is
-/// not found within the retry budget. W.h.p. the result is connected and an
-/// expander for d >= 3.
+/// edge-swap repair (thin wrapper over gen::random_regular, seeded from
+/// one draw of `gen`). Requires n*d even, d < n, and (for practical
+/// repair budgets) d <= ~O(sqrt(n)); throws std::runtime_error if a
+/// simple graph is not reached within max_attempts repair passes. W.h.p.
+/// the result is connected and an expander for d >= 3.
 [[nodiscard]] Graph make_random_regular(rng::Xoshiro256& gen, std::uint32_t n,
                                         std::uint32_t degree,
                                         std::uint32_t max_attempts = 200);
 
 /// Erdős–Rényi G(n, p). Not necessarily connected; pair with
 /// largest_component (algorithms.hpp) or choose p >= (1+eps) ln n / n.
+/// Thin wrapper over gen::gnp (chunked Batagelj–Brandes skip sampling,
+/// O(n + m)); seeds the generator from one draw of `gen`.
 [[nodiscard]] Graph make_erdos_renyi(rng::Xoshiro256& gen, std::uint32_t n,
                                      double p);
 
@@ -92,9 +95,10 @@ namespace cobra::graph {
                                          std::uint32_t attach_edges);
 
 /// Random geometric graph: n points uniform in the unit square, edges
-/// between pairs at Euclidean distance <= radius. Uses a cell grid, so
-/// construction is O(n + m). Not necessarily connected; the standard
-/// connectivity threshold is radius ~ sqrt(ln n / (pi n)).
+/// between pairs at Euclidean distance <= radius. Thin wrapper over
+/// gen::random_geometric (grid-bucketed neighbor search, O(n + m));
+/// seeds the generator from one draw of `gen`. Not necessarily connected;
+/// the standard connectivity threshold is radius ~ sqrt(ln n / (pi n)).
 [[nodiscard]] Graph make_random_geometric(rng::Xoshiro256& gen, std::uint32_t n,
                                           double radius);
 

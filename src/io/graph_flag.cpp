@@ -1,0 +1,26 @@
+#include "io/graph_flag.hpp"
+
+#include <stdexcept>
+
+#include "gen/registry.hpp"
+
+namespace cobra::io {
+
+std::string graph_spec_from_args(const Args& args,
+                                 const std::string& fallback_spec) {
+  return args.get(kGraphFlag, fallback_spec);
+}
+
+graph::Graph graph_from_args(const Args& args, const std::string& fallback_spec,
+                             const gen::GenOptions& opts) {
+  const std::string spec = graph_spec_from_args(args, fallback_spec);
+  try {
+    return gen::build_graph(spec, opts);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string(e.what()) +
+                                "\nknown graph specs:\n" +
+                                gen::grammar_help());
+  }
+}
+
+}  // namespace cobra::io

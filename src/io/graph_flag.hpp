@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "gen/families.hpp"
+#include "graph/graph.hpp"
+#include "io/args.hpp"
+
+/// \file graph_flag.hpp
+/// The shared `--graph <spec>` flag: every bench and example that takes a
+/// graph accepts one GraphSpec string (gen/spec.hpp grammar) and builds it
+/// through the registry — one construction path instead of per-binary
+/// hand-rolled families. Binaries add "graph" to their allowed-flag list
+/// and call graph_from_args with their default spec.
+
+namespace cobra::io {
+
+/// Name of the flag ("graph"), exported so allowed-lists stay in sync.
+inline constexpr const char* kGraphFlag = "graph";
+
+/// Build the graph named by --graph, or by `fallback_spec` when the flag is
+/// absent. Throws std::invalid_argument (with the registry's grammar table
+/// appended) on a malformed spec, so a typo'd sweep fails with usage text
+/// instead of a bare message.
+[[nodiscard]] graph::Graph graph_from_args(const Args& args,
+                                           const std::string& fallback_spec,
+                                           const gen::GenOptions& opts = {});
+
+/// The spec string that graph_from_args would build (flag value or
+/// fallback) — lets binaries echo the resolved spec into tables/JSON.
+[[nodiscard]] std::string graph_spec_from_args(const Args& args,
+                                               const std::string& fallback_spec);
+
+}  // namespace cobra::io

@@ -146,5 +146,48 @@ TEST(Gossip, InvalidConstruction) {
   EXPECT_THROW(Gossip(g, 5), std::out_of_range);
 }
 
+TEST(Gossip, UninformedListIsExactComplement) {
+  const Graph g = make_cycle(40);
+  Engine gen(10);
+  Gossip gossip(g, 7, GossipMode::PushPull);
+  for (int t = 0; t < 30; ++t) {
+    EXPECT_EQ(gossip.uninformed().size() + gossip.informed_count(),
+              g.num_vertices());
+    std::vector<char> seen(g.num_vertices(), 0);
+    for (const Vertex v : gossip.uninformed()) {
+      EXPECT_FALSE(gossip.is_informed(v));
+      EXPECT_EQ(seen[v], 0) << "duplicate in uninformed list";
+      seen[v] = 1;
+    }
+    if (gossip.complete()) break;
+    gossip.step(gen);
+  }
+}
+
+TEST(Gossip, PullRoundsAreThreadCountInvariant) {
+  // Both phases run on the FrontierEngine, so the informed set after every
+  // round must be bit-identical across pool sizes (chunked determinism),
+  // including the pull phase over the maintained uninformed list.
+  const Graph g = make_complete(600);
+  auto run = [&](std::size_t threads) {
+    par::ThreadPool pool(threads);
+    Gossip gossip(g, 0, GossipMode::PushPull);
+    gossip.engine().options().pool = &pool;
+    gossip.engine().options().parallel_threshold = 16;
+    gossip.engine().options().chunk_size = 64;
+    Engine gen(11);
+    std::vector<std::vector<Vertex>> informed_per_round;
+    while (!gossip.complete() && gossip.round() < 100) {
+      gossip.step(gen);
+      informed_per_round.emplace_back(gossip.active().begin(),
+                                      gossip.active().end());
+    }
+    return informed_per_round;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
 }  // namespace
 }  // namespace cobra::core

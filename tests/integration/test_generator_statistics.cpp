@@ -1,12 +1,16 @@
 /// Statistical certification of the randomized generators: each family's
 /// headline statistic matches its theory within tolerance. These go beyond
-/// the structural invariants in graph/test_generators.cpp — they check the
-/// DISTRIBUTIONS the experiments rely on.
+/// the structural invariants in graph/test_generators.cpp and the
+/// bit-identity contract in gen/test_parallel_gen.cpp — they check the
+/// DISTRIBUTIONS the experiments rely on, for both the legacy engine-based
+/// generators and the spec-built chunk-parallel families.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
+#include "gen/registry.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
@@ -106,6 +110,80 @@ TEST(GeneratorStats, GridDiametersScaleLinearly) {
     EXPECT_EQ(graph::exact_diameter(graph::make_grid(2, side, true)),
               2 * (side / 2));
   }
+}
+
+// --- spec-built chunk-parallel families (src/gen) -------------------------
+
+TEST(GeneratorStats, SpecGnpEdgeCountConcentrates) {
+  // E[m] = C(n,2) p under the chunked skip-sampler; sample mean over
+  // independent seeds within 3 sigma.
+  const std::uint32_t n = 400;
+  const double p = 0.03;
+  const double expected = n * (n - 1) / 2.0 * p;
+  const double sigma = std::sqrt(n * (n - 1) / 2.0 * p * (1 - p));
+  double total = 0.0;
+  constexpr int kReps = 50;
+  for (int rep = 0; rep < kReps; ++rep) {
+    total += static_cast<double>(
+        gen::build_graph("gnp:n=400,p=0.03,seed=" + std::to_string(100 + rep))
+            .num_edges());
+  }
+  EXPECT_NEAR(total / kReps, expected, 3.0 * sigma / std::sqrt(kReps));
+}
+
+TEST(GeneratorStats, SpecWattsStrogatzMeanDegreeAndSmallWorld) {
+  // Rewiring preserves the edge count up to duplicate collisions, so mean
+  // degree stays ~k; a small rewiring fraction already collapses the
+  // diameter far below the beta = 0 lattice's n/(2*k/2) = n/k scaling.
+  const graph::Graph lattice = gen::build_graph("ws:n=2000,k=6,beta=0,seed=1");
+  const graph::Graph small_world =
+      gen::build_graph("ws:n=2000,k=6,beta=0.1,seed=1");
+  EXPECT_DOUBLE_EQ(lattice.average_degree(), 6.0);
+  EXPECT_NEAR(small_world.average_degree(), 6.0, 0.1);
+  ASSERT_TRUE(graph::is_connected(small_world));
+  const auto lattice_diam = graph::double_sweep_diameter_lb(lattice);
+  const auto sw_diam = graph::eccentricity(small_world, 0);
+  EXPECT_GE(lattice_diam, 300u);  // ~ n/k = 333
+  EXPECT_LT(sw_diam, lattice_diam / 5);
+}
+
+TEST(GeneratorStats, SpecBarabasiAlbertDegreeTailIsPowerLaw) {
+  // The copy-model reproduces degree-proportional attachment, so the tail
+  // exponent lands near the BA value of 3.
+  const graph::Graph g = gen::build_graph("ba:n=20000,d=3,seed=5");
+  const double gamma = graph::hill_tail_exponent(g, 12);
+  EXPECT_GT(gamma, 2.2);
+  EXPECT_LT(gamma, 4.0);
+}
+
+TEST(GeneratorStats, SpecRmatDegreesAreSkewed) {
+  // With Graph500 parameters (a=.57) the expected degree of vertex 0 is
+  // (2a)^levels / 2^levels * 2m / ... — we only certify the shape: the top
+  // vertex holds a large multiple of the mean degree, and the degree
+  // sequence is heavy-tailed enough that the Hill exponent is small.
+  const graph::Graph g = gen::build_graph("rmat:n=2^13,deg=16,seed=9");
+  EXPECT_GT(g.max_degree(), 10 * g.average_degree());
+  const double gamma = graph::hill_tail_exponent(g, 64);
+  EXPECT_LT(gamma, 3.0);
+}
+
+TEST(GeneratorStats, SpecRandomRegularIsExpanderWhp) {
+  // The hashed-permutation configuration model must match the engine-based
+  // one: connected, simple, spectral gap bounded away from 0.
+  for (int rep = 0; rep < 10; ++rep) {
+    const graph::Graph g =
+        gen::build_graph("rreg:n=200,d=4,seed=" + std::to_string(200 + rep));
+    ASSERT_TRUE(graph::is_connected(g)) << rep;
+    EXPECT_GT(graph::lazy_walk_spectrum(g).spectral_gap, 0.05) << rep;
+  }
+}
+
+TEST(GeneratorStats, SpecGeometricDegreeMatchesDensity) {
+  // E[deg] ~ n pi r^2 away from the border — the avg_deg sugar solves for
+  // exactly that radius, so the realized mean must land just below it.
+  const graph::Graph g = gen::build_graph("geo:n=3000,avg_deg=12,seed=7");
+  EXPECT_GT(g.average_degree(), 0.75 * 12.0);
+  EXPECT_LT(g.average_degree(), 1.05 * 12.0);
 }
 
 TEST(GeneratorStats, HypercubeConductanceIsOneOverD) {

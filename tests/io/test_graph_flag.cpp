@@ -1,0 +1,56 @@
+#include "io/graph_flag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/registry.hpp"
+
+namespace cobra::io {
+namespace {
+
+Args make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bench");
+  return Args(static_cast<int>(argv.size()), argv.data(), {"graph", "other"});
+}
+
+TEST(GraphFlag, BuildsSpecFromFlag) {
+  const Args args = make_args({"--graph", "ring:n=12"});
+  const graph::Graph g = graph_from_args(args, "ring:n=99");
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(graph_spec_from_args(args, "ring:n=99"), "ring:n=12");
+}
+
+TEST(GraphFlag, FallsBackWhenAbsent) {
+  const Args args = make_args({"--other", "1"});
+  const graph::Graph g = graph_from_args(args, "hypercube:dims=4");
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(graph_spec_from_args(args, "hypercube:dims=4"),
+            "hypercube:dims=4");
+}
+
+TEST(GraphFlag, BadSpecThrowsWithGrammarTable) {
+  const Args args = make_args({"--graph", "nope:n=4"});
+  try {
+    (void)graph_from_args(args, "");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown family"), std::string::npos);
+    // Usage text rides along so a typo'd sweep fails self-documentingly.
+    EXPECT_NE(what.find("gnp:n=<N>"), std::string::npos);
+  }
+}
+
+TEST(GraphFlag, MatchesDirectRegistryConstruction) {
+  const Args args = make_args({"--graph", "rreg:n=100,d=4,seed=3"});
+  const graph::Graph via_flag = graph_from_args(args, "");
+  const graph::Graph direct = gen::build_graph("rreg:n=100,d=4,seed=3");
+  EXPECT_EQ(via_flag.offsets(), direct.offsets());
+  EXPECT_EQ(via_flag.targets(), direct.targets());
+}
+
+}  // namespace
+}  // namespace cobra::io
