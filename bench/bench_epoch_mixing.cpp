@@ -8,12 +8,16 @@
 ///     measured sweep-cut Phi,
 ///   * their ratio — s* must upper-bound the measured epoch (it does,
 ///     generously; conductance-squared is conservative vs the true gap).
+///
+/// Usage: bench_epoch_mixing [--graph <spec>] [--out path] [--smoke]
+///   Sweep graphs are built through the spec registry. --graph replaces
+///   the sweep with one registry-built row; --smoke shrinks the case list
+///   and the doubling-scan cap for CI.
 
 #include <cmath>
 
 #include "bench_common.hpp"
 
-#include "graph/generators.hpp"
 #include "graph/mixing.hpp"
 #include "graph/spectral.hpp"
 
@@ -21,55 +25,80 @@ namespace {
 
 using namespace cobra;
 
+void add_row(io::Table& table, bench::JsonReporter& json,
+             const std::string& name, const std::string& spec,
+             const graph::Graph& g, std::uint64_t cap) {
+  const std::uint32_t n = g.num_vertices();
+  const double phi = graph::estimate_conductance(g).point();
+  const std::uint64_t t_tv = graph::lazy_mixing_time(g, 0, 0.25, cap);
+  // Coordinate criterion: max_v |p_t - pi_v| <= 1/(2n), by doubling scan.
+  std::uint64_t t_coord = cap;
+  for (std::uint64_t t = 1; t <= cap; t *= 2) {
+    if (graph::max_coordinate_deviation(g, 0, t) <= 0.5 / n) {
+      // refine down within [t/2, t]
+      std::uint64_t lo = t / 2, hi = t;
+      while (lo + 1 < hi) {
+        const std::uint64_t mid = (lo + hi) / 2;
+        (graph::max_coordinate_deviation(g, 0, mid) <= 0.5 / n ? hi : lo) = mid;
+      }
+      t_coord = hi;
+      break;
+    }
+  }
+  const double s_star = 2.0 * std::log(2.0 * n) / (phi * phi);
+  const double ratio = s_star / static_cast<double>(t_coord);
+  table.add_row({name, io::Table::fmt_int(n), io::Table::fmt(phi, 4),
+                 io::Table::fmt_int(static_cast<long long>(t_tv)),
+                 io::Table::fmt_int(static_cast<long long>(t_coord)),
+                 io::Table::fmt(s_star, 0), io::Table::fmt(ratio, 1)});
+  json.record(name)
+      .field("spec", spec)
+      .field("n", static_cast<double>(n))
+      .field("phi_sweep", phi)
+      .field("t_mix_tv_quarter", static_cast<double>(t_tv))
+      .field("t_coord_half_over_n", static_cast<double>(t_coord))
+      .field("s_star", s_star)
+      .field("s_star_over_t", ratio);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const io::Args args = bench::parse_bench_args(argc, argv, {});
+  const bool smoke = args.get_bool("smoke", false);
+
   bench::print_header(
       "A9  (Theorem 8's epoch length)",
       "measured lazy mixing vs the s = O(Phi^-2 log n) prescription");
 
-  core::Engine graph_gen(0xA9);
-  struct Case {
-    std::string name;
-    graph::Graph g;
-  };
-  const std::vector<Case> cases = {
-      {"complete n=64", graph::make_complete(64)},
-      {"hypercube Q_8", graph::make_hypercube(8)},
-      {"random 6-regular n=256", graph::make_random_regular(graph_gen, 256, 6)},
-      {"torus 16x16", graph::make_grid(2, 16, true)},
-      {"cycle n=64", graph::make_cycle(64)},
-  };
+  bench::JsonReporter json("epoch_mixing");
+  if (smoke) json.context("smoke", 1.0);
+  const std::uint64_t cap = smoke ? (1u << 16) : (1u << 22);
 
   io::Table table({"graph", "n", "Phi (sweep)", "t_mix(TV<=1/4)",
                    "t(coord<=1/2n)", "s* = 2 ln(2n)/Phi^2", "s*/t"});
   table.set_align(0, io::Align::Left);
-  for (const auto& [name, g] : cases) {
-    const std::uint32_t n = g.num_vertices();
-    const double phi = graph::estimate_conductance(g).point();
-    const std::uint64_t cap = 1u << 22;
-    const std::uint64_t t_tv = graph::lazy_mixing_time(g, 0, 0.25, cap);
-    // Coordinate criterion: max_v |p_t - pi_v| <= 1/(2n), by doubling scan.
-    std::uint64_t t_coord = cap;
-    for (std::uint64_t t = 1; t <= cap; t *= 2) {
-      if (graph::max_coordinate_deviation(g, 0, t) <= 0.5 / n) {
-        // refine down within [t/2, t]
-        std::uint64_t lo = t / 2, hi = t;
-        while (lo + 1 < hi) {
-          const std::uint64_t mid = (lo + hi) / 2;
-          (graph::max_coordinate_deviation(g, 0, mid) <= 0.5 / n ? hi : lo) =
-              mid;
-        }
-        t_coord = hi;
-        break;
-      }
+
+  if (args.has("graph")) {
+    const std::string spec = io::graph_spec_from_args(args, "");
+    add_row(table, json, spec, spec, bench::bench_graph(args, spec), cap);
+  } else {
+    const std::vector<std::pair<std::string, std::string>> cases =
+        smoke ? std::vector<std::pair<std::string, std::string>>{
+                    {"complete n=32", "complete:n=32"},
+                    {"hypercube Q_6", "hypercube:dims=6"},
+                    {"cycle n=32", "ring:n=32"},
+                }
+              : std::vector<std::pair<std::string, std::string>>{
+                    {"complete n=64", "complete:n=64"},
+                    {"hypercube Q_8", "hypercube:dims=8"},
+                    {"random 6-regular n=256", "rreg:n=256,d=6,seed=169"},
+                    {"torus 16x16", "torus:side=16,dims=2"},
+                    {"cycle n=64", "ring:n=64"},
+                };
+    for (const auto& [name, spec] : cases) {
+      add_row(table, json, name, spec, gen::build_graph(spec), cap);
     }
-    const double s_star = 2.0 * std::log(2.0 * n) / (phi * phi);
-    table.add_row({name, io::Table::fmt_int(n), io::Table::fmt(phi, 4),
-                   io::Table::fmt_int(static_cast<long long>(t_tv)),
-                   io::Table::fmt_int(static_cast<long long>(t_coord)),
-                   io::Table::fmt(s_star, 0),
-                   io::Table::fmt(s_star / static_cast<double>(t_coord), 1)});
   }
   std::cout << table << "\n";
   std::cout
@@ -78,5 +107,6 @@ int main() {
          "epochs are long enough, with the Cheeger-squared slack the paper\n"
          "accepts for generality. (On the cycle both are Theta(n^2), the\n"
          "regime where the theorem's bound goes weak.)\n";
+  if (args.has("out")) return json.write(args.get("out", "")) ? 0 : 1;
   return 0;
 }

@@ -6,6 +6,12 @@
 /// 2-cobra cover, push gossip, push-pull, and coalescing walks; report
 /// each normalized by n ln n. The conjecture holds iff the cobra column
 /// stays O(1) on every row — the paper's open problem, checked empirically.
+///
+/// Usage: bench_gossip_comparison [--trials T] [--graph <spec>]
+///        [--out path] [--smoke]
+///   Case graphs are built through the spec registry. --graph replaces the
+///   case list with one registry-built row; --smoke shrinks the case list
+///   and trial count for CI.
 
 #include <cmath>
 
@@ -14,8 +20,6 @@
 #include "core/coalescing_walk.hpp"
 #include "core/cover_time.hpp"
 #include "core/gossip.hpp"
-#include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
@@ -23,47 +27,61 @@ using namespace cobra;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const io::Args args = bench::parse_bench_args(argc, argv, {"trials"});
+  const bool smoke = args.get_bool("smoke", false);
+  const auto trials =
+      static_cast<std::uint32_t>(args.get_uint("trials", smoke ? 5 : 30));
+
   bench::print_header(
       "E10  (s6 conjecture, s1.2)",
       "is worst-case 2-cobra cover O(n log n), like push gossip?");
 
-  core::Engine graph_gen(0xEA);
-  struct Case {
-    std::string name;
-    graph::Graph g;
-  };
-  const std::vector<Case> cases = {
-      {"star n=256", graph::make_star(256)},
-      {"path n=256", graph::make_path(256)},
-      {"cycle n=256", graph::make_cycle(256)},
-      {"lollipop n=240", graph::make_lollipop(160, 80)},
-      {"barbell n=240", graph::make_barbell(80, 80)},
-      {"binary tree n=255", graph::make_kary_tree(2, 8)},
-      {"grid 16x16", graph::make_grid(2, 16)},
-      {"random 6-regular n=256",
-       graph::make_random_regular(graph_gen, 256, 6)},
-      {"power-law n~256",
-       graph::largest_component(
-           graph::make_chung_lu_power_law(graph_gen, 256, 2.5, 3.0))
-           .graph},
-  };
+  bench::JsonReporter json("gossip_comparison");
+  json.context("trials", static_cast<double>(trials));
+  if (smoke) json.context("smoke", 1.0);
+
+  std::vector<std::pair<std::string, std::string>> cases;
+  if (args.has("graph")) {
+    const std::string spec = io::graph_spec_from_args(args, "");
+    cases.emplace_back(spec, spec);
+  } else if (smoke) {
+    cases = {
+        {"star n=64", "star:n=64"},
+        {"cycle n=64", "ring:n=64"},
+        {"grid 8x8", "grid:side=8,dims=2"},
+        {"random 6-regular n=64", "rreg:n=64,d=6,seed=234"},
+    };
+  } else {
+    cases = {
+        {"star n=256", "star:n=256"},
+        {"path n=256", "path:n=256"},
+        {"cycle n=256", "ring:n=256"},
+        {"lollipop n=240", "lollipop:clique=160,path=80"},
+        {"barbell n=240", "barbell:clique=80,path=80"},
+        {"binary tree n=255", "tree:levels=8"},
+        {"grid 16x16", "grid:side=16,dims=2"},
+        {"random 6-regular n=256", "rreg:n=256,d=6,seed=234"},
+        {"power-law n~256", "chunglu:n=256,gamma=2.5,min_deg=3,seed=234,lcc=1"},
+    };
+  }
 
   io::Table table({"graph", "n", "cobra", "cobra/(n ln n)", "push",
                    "push/(n ln n)", "push-pull"});
   table.set_align(0, io::Align::Left);
   double worst_cobra_ratio = 0.0;
   std::string worst_case;
-  for (const auto& [name, g] : cases) {
+  for (const auto& [name, spec] : cases) {
+    const graph::Graph g = gen::build_graph(spec);
     const std::uint64_t h = std::hash<std::string>{}(name);
-    const auto cobra = bench::measure(30, 0xEA100 ^ h, [&](core::Engine& gen) {
+    const auto cobra = bench::measure(trials, 0xEA100 ^ h, [&](core::Engine& gen) {
       return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
     });
-    const auto push = bench::measure(30, 0xEA200 ^ h, [&](core::Engine& gen) {
+    const auto push = bench::measure(trials, 0xEA200 ^ h, [&](core::Engine& gen) {
       return static_cast<double>(core::gossip_push_cover(g, 0, gen).steps);
     });
     const auto pushpull =
-        bench::measure(30, 0xEA300 ^ h, [&](core::Engine& gen) {
+        bench::measure(trials, 0xEA300 ^ h, [&](core::Engine& gen) {
           core::Gossip gossip(g, 0, core::GossipMode::PushPull);
           return static_cast<double>(
               core::run_to_cover(gossip, gen, 1u << 26).steps);
@@ -79,6 +97,14 @@ int main() {
                    bench::mean_ci(cobra), io::Table::fmt(ratio, 3),
                    bench::mean_ci(push), io::Table::fmt(push.mean / n_ln_n, 3),
                    bench::mean_ci(pushpull)});
+    json.record(name)
+        .field("spec", spec)
+        .field("n", static_cast<double>(g.num_vertices()))
+        .field("cobra_cover_mean", cobra.mean)
+        .field("cobra_over_nlnn", ratio)
+        .field("push_cover_mean", push.mean)
+        .field("push_over_nlnn", push.mean / n_ln_n)
+        .field("pushpull_cover_mean", pushpull.mean);
   }
   std::cout << table << "\n";
   std::cout << "worst cobra/(n ln n) ratio: "
@@ -89,5 +115,6 @@ int main() {
                "consistent with (not proving) the s6 conjecture that the\n"
                "worst-case 2-cobra cover time is O(n log n). The star is the\n"
                "extremal row, matching its Omega(n log n) lower bound.\n";
+  if (args.has("out")) return json.write(args.get("out", "")) ? 0 : 1;
   return 0;
 }

@@ -17,6 +17,7 @@
 
 #include "bench_common.hpp"
 
+#include "core/cobra_walk.hpp"
 #include "core/cover_time.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -69,6 +70,25 @@ int main(int argc, char** argv) {
   json.context("vertices", static_cast<double>(g.num_vertices()));
   json.context("trials", static_cast<double>(trials));
   if (smoke) json.context("smoke", 1.0);
+
+  // Representation probe: one cover run through a directly-held walk, so
+  // the JSON records which frontier representations the trial workload
+  // actually exercises on this graph (the Monte-Carlo rows construct their
+  // walks internally and cannot expose the engine counters).
+  {
+    core::CobraWalk probe(g, 0, 2);
+    core::Engine probe_gen(0xA3);
+    (void)core::run_to_cover(probe, probe_gen, 1u << 22);
+    json.record("representation_probe")
+        .field("rounds", static_cast<double>(probe.round()))
+        .field("dense_rounds",
+               static_cast<double>(probe.engine().dense_rounds()))
+        .field("sparse_rounds",
+               static_cast<double>(probe.engine().sparse_rounds()))
+        .field("switches", static_cast<double>(probe.engine().switches()))
+        .field("parallel_rounds",
+               static_cast<double>(probe.engine().parallel_rounds()));
+  }
 
   // Warm-up run so first-touch page faults don't pollute the 1-thread row.
   (void)timed_run(2, true, g, trials / 6 + 1);

@@ -32,9 +32,11 @@ class CoalescingWalks {
 
   void step(Engine& gen);
 
-  /// Current walker positions — pairwise distinct by the merge invariant.
-  [[nodiscard]] std::span<const Vertex> active() const noexcept {
-    return walkers_;
+  /// Current walker positions — pairwise distinct by the merge invariant,
+  /// sorted ascending (materializes after dense rounds; `walker_count()`
+  /// is the O(1) count).
+  [[nodiscard]] std::span<const Vertex> active() const {
+    return walkers_.vertices();
   }
 
   [[nodiscard]] std::uint32_t walker_count() const noexcept {
@@ -57,8 +59,8 @@ class CoalescingWalks {
   const Graph* g_;
   FrontierEngine engine_;
   NeighborSampler pick_;
-  std::vector<Vertex> walkers_;
-  std::vector<Vertex> next_;
+  Frontier walkers_;
+  Frontier next_;
   std::uint64_t round_ = 0;
   std::uint64_t merges_ = 0;
 };

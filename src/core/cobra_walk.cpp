@@ -10,8 +10,9 @@ CobraWalk::CobraWalk(const Graph& g, Vertex start, std::uint32_t branching)
   if (g.min_degree() == 0) {
     throw std::invalid_argument("CobraWalk: graph has an isolated vertex");
   }
-  frontier_.reserve(g.num_vertices());
-  next_.reserve(g.num_vertices());
+  // The engine's parallel threshold is in estimated samples; k per active
+  // vertex is this walk's exact emission rate.
+  engine_.options().branching_hint = static_cast<double>(branching);
   reset(start);
 }
 
@@ -34,6 +35,10 @@ void CobraWalk::reset(std::span<const Vertex> starts) {
 }
 
 void CobraWalk::step(Engine& gen) {
+  // Re-asserted every round: the walk KNOWS its exact emission rate, and
+  // callers that assign a whole FrontierOptions (tests, benches) must not
+  // silently degrade the work estimate to the 1.0 default.
+  engine_.options().branching_hint = static_cast<double>(k_);
   // One caller draw seeds the entire round; the engine derives per-chunk
   // streams from it, keeping the walk thread-count independent.
   const std::uint64_t round_seed = gen();

@@ -14,17 +14,21 @@
 /// is implicit: a vertex sampled several times is active once).
 ///
 /// Implementation notes:
-///   * Rounds execute on the shared FrontierEngine: the active set is
-///     partitioned into fixed chunks, each chunk samples from an engine
-///     seeded with derive_seed(round_seed, chunk), and offspring dedup via
-///     the engine's epoch-stamp array — in parallel across the thread pool
-///     once the frontier is large enough, serially (same chunking, same
-///     bits) below that.
+///   * Rounds execute on the shared FrontierEngine: the vertex-id space is
+///     partitioned into fixed ranges, each range samples from an engine
+///     seeded with derive_seed(round_seed, range), and offspring dedup via
+///     the engine's epoch stamps (sparse rounds) or bitmap (dense rounds)
+///     — in parallel across the thread pool once the frontier is large
+///     enough, serially (same chunking, same bits) below that. The active
+///     set is held in a dual-representation core::Frontier: on expanders
+///     it becomes a bitmap once it reaches Θ(n), and `active()`
+///     materializes the sorted vertex list on demand (`frontier().size()`
+///     is always O(1)).
 ///   * One draw of the caller's engine per round seeds the whole round, so
 ///     a walk remains a pure function of (graph, start, k, engine seed)
-///     regardless of thread count.
-///   * A round costs O(k |S_t|) neighbor samples and nothing else; all
-///     buffers are preallocated at construction.
+///     regardless of thread count or frontier representation.
+///   * A round costs O(k |S_t|) neighbor samples (plus O(n / 64) bitmap
+///     words when dense) and nothing else.
 ///   * k = 1 degenerates to the simple random walk, which tests exploit.
 
 namespace cobra::core {
@@ -46,10 +50,15 @@ class CobraWalk {
   /// Advance one round: every active vertex emits `branching` samples.
   void step(Engine& gen);
 
-  /// Vertices active at the current round (unordered, duplicate-free).
-  [[nodiscard]] std::span<const Vertex> active() const noexcept {
-    return frontier_;
+  /// Vertices active at the current round (sorted ascending,
+  /// duplicate-free). Materializes from the bitmap after dense rounds —
+  /// prefer `frontier().size()` when only the count is needed.
+  [[nodiscard]] std::span<const Vertex> active() const {
+    return frontier_.vertices();
   }
+
+  /// The active set in its native representation (O(1) size()).
+  [[nodiscard]] const Frontier& frontier() const noexcept { return frontier_; }
 
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
   [[nodiscard]] std::uint32_t branching() const noexcept { return k_; }
@@ -68,8 +77,8 @@ class CobraWalk {
   std::uint32_t k_;
   FrontierEngine engine_;
   NeighborSampler pick_;
-  std::vector<Vertex> frontier_;
-  std::vector<Vertex> next_;
+  Frontier frontier_;
+  Frontier next_;
   std::uint64_t round_ = 0;
   std::uint64_t samples_ = 0;
 };

@@ -12,11 +12,88 @@ FrontierEngine::FrontierEngine(const Graph& g, FrontierOptions opts)
 }
 
 std::uint32_t FrontierEngine::advance_epoch() {
-  if (++epoch_ == 0) {  // 32-bit wrap: stamps from 2^32 rounds ago would
-    stamp_.assign(stamp_.size(), 0);  // alias the new epoch — wipe them
+  if (++epoch_ == 0) {  // 32-bit wrap: stamps from 2^32 sparse rounds ago
+    stamp_.assign(stamp_.size(), 0);  // would alias the new epoch — wipe
     epoch_ = 1;
   }
   return epoch_;
+}
+
+bool FrontierEngine::choose_dense(std::size_t frontier_size) {
+  bool dense;
+  switch (opts_.mode) {
+    case FrontierMode::ForceSparse:
+      dense = false;
+      break;
+    case FrontierMode::ForceDense:
+      dense = true;
+      break;
+    default: {
+      // Enter dense above n / alpha; once dense, stay until the frontier
+      // falls below half the entry threshold (hysteresis: a frontier
+      // hovering at the boundary pays one switch, not one per round).
+      const double scaled =
+          static_cast<double>(frontier_size) * opts_.dense_alpha;
+      const auto n = static_cast<double>(g_->num_vertices());
+      dense = last_dense_ ? scaled * 2.0 >= n : scaled > n;
+      break;
+    }
+  }
+  if (have_mode_ && dense != last_dense_) ++switches_;
+  have_mode_ = true;
+  last_dense_ = dense;
+  ++(dense ? dense_rounds_ : sparse_rounds_);
+  return dense;
+}
+
+par::ThreadPool* FrontierEngine::pick_pool(std::size_t frontier_size) const {
+  // Work estimate, not raw frontier length: a 5k-vertex frontier at k = 4
+  // is as much sampling as a 20k one at k = 1, and it is the sampling that
+  // must amortize the pool hand-off.
+  const double work = static_cast<double>(frontier_size) *
+                      std::max(opts_.branching_hint, 1.0);
+  if (work < static_cast<double>(opts_.parallel_threshold)) return nullptr;
+  // Resolve the pool lazily: a walk whose frontier never clears the
+  // threshold must not spawn the process-wide pool as a side effect.
+  par::ThreadPool* pool =
+      opts_.pool != nullptr ? opts_.pool : &par::global_pool();
+  if (pool->size() <= 1 || pool->on_worker_thread()) return nullptr;
+  return pool;
+}
+
+void FrontierEngine::ensure_workers(std::size_t workers) {
+  if (worker_lists_.size() < workers) {
+    worker_lists_.resize(workers);
+    worker_decode_.resize(workers);
+    worker_emitted_.resize(workers);
+    worker_claimed_.resize(workers);
+  }
+}
+
+std::span<const Vertex> FrontierEngine::chunk_vertices(
+    const FrontierView& in, std::size_t span, std::size_t c,
+    std::vector<Vertex>& scratch) const {
+  const std::uint64_t lo = static_cast<std::uint64_t>(c) * span;
+  const std::uint64_t hi =
+      std::min<std::uint64_t>(lo + span, g_->num_vertices());
+  if (!in.dense()) {
+    const auto list = in.list();
+    const auto begin = std::lower_bound(list.begin(), list.end(),
+                                        static_cast<Vertex>(lo));
+    const auto end =
+        std::lower_bound(begin, list.end(), static_cast<Vertex>(hi));
+    return list.subspan(static_cast<std::size_t>(begin - list.begin()),
+                        static_cast<std::size_t>(end - begin));
+  }
+  // Dense: decode the chunk's words (span is a multiple of 64, so chunk
+  // boundaries are word boundaries) into the caller's scratch.
+  scratch.clear();
+  const auto words = in.words();
+  const std::size_t w0 = static_cast<std::size_t>(lo >> 6);
+  const std::size_t w1 = std::min<std::size_t>(
+      static_cast<std::size_t>((hi + 63) >> 6), words.size());
+  detail::decode_bits(words, w0, w1, scratch);
+  return scratch;
 }
 
 void FrontierEngine::dedupe(std::span<const Vertex> in,
@@ -24,13 +101,20 @@ void FrontierEngine::dedupe(std::span<const Vertex> in,
   out.clear();
   if (in.empty()) return;
   const std::uint32_t epoch = advance_epoch();
-  const std::uint64_t tag = static_cast<std::uint64_t>(epoch) << 32;
   for (const Vertex v : in) {
-    if ((stamp_[v] >> 32) != epoch) {
-      stamp_[v] = tag;  // owner chunk 0: resets are serial by definition
+    if (stamp_[v] != epoch) {
+      stamp_[v] = epoch;
       out.push_back(v);
     }
   }
+}
+
+void FrontierEngine::dedupe(std::span<const Vertex> in, Frontier& out) {
+  out.clear();
+  dedupe(in, out.list_);
+  // Canonical ascending order — the invariant every expand input relies on.
+  std::sort(out.list_.begin(), out.list_.end());
+  out.count_ = out.list_.size();
 }
 
 }  // namespace cobra::core

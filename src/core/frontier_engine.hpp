@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/types.hpp"
 #include "parallel/monte_carlo.hpp"
+#include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/batch.hpp"
 #include "rng/splitmix64.hpp"
@@ -16,46 +18,210 @@
 /// \file frontier_engine.hpp
 /// The shared frontier-expansion engine: executes one branching/coalescing
 /// round of any frontier process (cobra walk, coalescing walks, gossip
-/// push, ...) with the per-vertex sampling work spread across the thread
-/// pool. This is the library's hottest path — on expanders the frontier
-/// grows to Θ(n) vertices, so per-round work, not per-trial work, is the
-/// unit of parallelism that matters (the same altitude at which Ghaffari &
-/// Uitto's sparsified MPC rounds and parallel greedy MIS operate).
+/// push/pull, ...) with the per-vertex sampling work spread across the
+/// thread pool. This is the library's hottest path — on expanders the
+/// frontier grows to Θ(n) vertices in O(log n) rounds, so per-round work,
+/// not per-trial work, is the unit of parallelism that matters (the same
+/// altitude at which Ghaffari & Uitto's sparsified MPC rounds and parallel
+/// greedy MIS operate).
+///
+/// Representations (the Beamer-style sparse/dense switch): a frontier is
+/// either a SPARSE sorted vertex list or a DENSE bitmap over [0, n). The
+/// engine picks per round from the frontier size — dense once
+/// |frontier| * dense_alpha > n, back to sparse below half that entry
+/// threshold (hysteresis, so a frontier hovering at the boundary does not
+/// flap) — and the choice affects SPEED only, never results:
+///
+///   * sparse rounds dedup offspring against a per-vertex 32-bit epoch
+///     stamp (one plain store serially, one compare_exchange in parallel)
+///     and sort the claimed list;
+///   * dense rounds dedup by setting bits with fetch_or on 64-bit bitmap
+///     words — the output is a set materialized in ascending vertex order
+///     by construction, so no sort, no ownership resolution, and ~1/32 of
+///     the stamp path's dedup memory traffic.
 ///
 /// Determinism contract (mirrors monte_carlo.hpp): a round's randomness is
-/// a pure function of its `round_seed`. The frontier is split into
-/// fixed-size chunks; chunk c samples from an engine seeded with
-/// rng::derive_seed(round_seed, c). Thread count only decides which worker
-/// runs which chunk, never what a chunk draws, so the produced frontier is
-/// bit-identical across 1, 2, ... N threads AND identical to the serial
-/// in-line path (which walks the same chunks in index order).
+/// a pure function of its `round_seed`. The VERTEX-ID SPACE [0, n) is split
+/// into fixed ranges of `chunk_size` ids (rounded up to a multiple of 64 so
+/// ranges align with bitmap words); the active vertices of range c are
+/// visited in ascending id order drawing from an engine seeded
+/// rng::derive_seed(round_seed, c). Because both representations walk the
+/// same ranges in the same order, and both dedups produce the same set
+/// materialized ascending, the produced frontier is bit-identical across
+/// 1, 2, ... N threads, identical to the serial in-line path, AND identical
+/// across the sparse and dense paths. (This is simpler than the previous
+/// frontier-position chunking: ordering is canonical — ascending — rather
+/// than "whatever the serial visit order was", so the parallel merge needs
+/// no min-chunk CAS ownership protocol.) The one requirement this puts on
+/// callers: a frontier passed as a raw span must be sorted ascending and
+/// duplicate-free — which `expand` and `dedupe` outputs always are.
 ///
-/// Dedup: offspring are deduplicated against a per-vertex epoch-stamp
-/// array. Each stamp packs (epoch << 32) | owner_chunk. In the parallel
-/// path chunks claim vertices with a CAS loop that resolves contention by
-/// MIN chunk index — exactly the vertex-to-chunk assignment the serial
-/// in-order pass produces — and a final merge keeps, per chunk, only the
-/// entries the chunk still owns. Hence content AND order of the next
-/// frontier are schedule-independent.
+/// Epoch-wrap audit (the stamp idiom's one failure mode): advancing the
+/// 32-bit epoch past 2^32 would alias stamps from 2^32 sparse rounds ago,
+/// so the advance wipes the array on wrap (`advance_epoch`). Dense rounds
+/// do not touch the stamps at all — their bitmap is cleared at round start
+/// — so representation switches compose with the epoch scheme with no
+/// extra invalidation. `expand` returns before touching any state when the
+/// frontier is empty: an extinct process stepped in a loop burns neither
+/// epochs nor bitmap clears.
 ///
-/// Epoch-wrap audit (the stamp idiom's one failure mode): advancing a
-/// 32-bit epoch past 2^32 would alias stamps from 2^32 rounds ago, so the
-/// advance wipes the array on wrap. The engine centralizes that logic in
-/// one place (`advance_epoch`), and `expand` returns before touching the
-/// epoch when the frontier is empty — an extinct process stepped in a loop
-/// no longer burns epochs (or the O(n) wrap re-scan) doing nothing.
+/// Scheduling: chunks are claimed dynamically by a fixed set of workers
+/// (par::parallel_for_chunks), each owning a reusable flat offspring
+/// buffer and a decode scratch — no per-chunk allocation in steady state.
+/// The sampling loop software-prefetches the CSR adjacency row a few
+/// vertices ahead (ascending visit order makes the offsets stream
+/// sequential, so only the targets row needs the hint).
 
 namespace cobra::core {
 
+/// How `expand` chooses the round's representation.
+enum class FrontierMode : std::uint8_t {
+  Auto,         ///< size-based switch with hysteresis (the default)
+  ForceSparse,  ///< always the stamp/list path (tests, tiny graphs)
+  ForceDense,   ///< always the bitmap path (tests)
+};
+
 struct FrontierOptions {
-  /// Frontier vertices per chunk. Fixed chunking (not pool-size-derived) is
-  /// what makes results independent of the thread count.
+  /// Vertex IDs per chunk (rounded up to a multiple of 64 internally).
+  /// Fixed chunking (not pool-size-derived) is what makes results
+  /// independent of the thread count; changing it changes the
+  /// seed-to-stream assignment, i.e. the trajectories a seed produces.
   std::size_t chunk_size = 1024;
-  /// Frontiers smaller than this run in-line on the calling thread: below
-  /// it, pool hand-off costs more than the sampling itself.
+  /// Estimated samples (|frontier| * branching_hint) below which a round
+  /// runs in-line on the calling thread: below it, pool hand-off costs
+  /// more than the sampling itself.
   std::size_t parallel_threshold = 8192;
   /// Pool to spread chunks over; nullptr means par::global_pool().
   par::ThreadPool* pool = nullptr;
+  /// Expected sink() calls per frontier vertex — the work estimate that
+  /// parallel_threshold is compared against. Clients that know their
+  /// branching factor set it (CobraWalk sets k); 1.0 is the conservative
+  /// default (one sample per vertex, the gossip/coalescing case).
+  double branching_hint = 1.0;
+  /// Dense once |frontier| * dense_alpha > n; back to sparse below half
+  /// that. The default is where the bitmap's O(n/64)-word fixed costs
+  /// (clear + materialize scan) drop below the sparse path's sort of the
+  /// claimed list. Values < 1 effectively disable the dense path.
+  double dense_alpha = 256.0;
+  /// Representation override for tests and experiments.
+  FrontierMode mode = FrontierMode::Auto;
+};
+
+namespace detail {
+
+/// Append the set bits of `words[first_word, last_word)` to `out` as
+/// vertex ids, ascending — the one bitmap-decode idiom, shared by
+/// Frontier materialization, chunk decoding, and the span-overload
+/// output path.
+inline void decode_bits(std::span<const std::uint64_t> words,
+                        std::size_t first_word, std::size_t last_word,
+                        std::vector<Vertex>& out) {
+  for (std::size_t w = first_word; w < last_word; ++w) {
+    std::uint64_t word = words[w];
+    while (word != 0) {
+      out.push_back(static_cast<Vertex>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(word))));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// A frontier in either representation, owned by the process that steps
+/// it. Sparse form is a sorted duplicate-free vertex list; dense form is a
+/// bitmap over [0, n) plus a popcount. `vertices()` is always available —
+/// after a dense round it materializes (and caches) the sorted list from
+/// the bitmap in O(n/64 + size). `size()` is O(1) in both forms, so hot
+/// loops that only need the count (benches, growth tracking) never pay for
+/// materialization.
+class Frontier {
+ public:
+  Frontier() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// True when the bitmap is the authoritative representation.
+  [[nodiscard]] bool dense() const noexcept { return dense_; }
+
+  /// The frontier as a sorted, duplicate-free span. Materializes from the
+  /// bitmap on first call after a dense round; cached until the engine
+  /// next writes this frontier.
+  [[nodiscard]] std::span<const Vertex> vertices() const {
+    if (!list_valid_) {
+      list_.clear();
+      list_.reserve(count_);
+      detail::decode_bits(bits_, 0, bits_.size(), list_);
+      list_valid_ = true;
+    }
+    return list_;
+  }
+
+  /// Reset to the empty sparse frontier (storage retained).
+  void clear() noexcept {
+    list_.clear();
+    list_valid_ = true;
+    dense_ = false;
+    count_ = 0;
+  }
+
+  void swap(Frontier& other) noexcept {
+    list_.swap(other.list_);
+    bits_.swap(other.bits_);
+    std::swap(list_valid_, other.list_valid_);
+    std::swap(dense_, other.dense_);
+    std::swap(count_, other.count_);
+  }
+
+ private:
+  friend class FrontierEngine;
+  friend class FrontierView;
+
+  mutable std::vector<Vertex> list_;  ///< sparse form / dense-form cache
+  mutable bool list_valid_ = true;
+  std::vector<std::uint64_t> bits_;  ///< dense form, (n + 63) / 64 words
+  bool dense_ = false;
+  std::size_t count_ = 0;
+};
+
+/// Non-owning view of a frontier in either representation — what the
+/// engine's expansion loops walk. Sparse views require the span to be
+/// sorted ascending and duplicate-free (asserted in debug builds).
+class FrontierView {
+ public:
+  /* implicit */ FrontierView(std::span<const Vertex> sorted) noexcept
+      : list_(sorted), count_(sorted.size()) {
+    assert(std::is_sorted(sorted.begin(), sorted.end()));
+  }
+
+  FrontierView(std::span<const std::uint64_t> words, std::size_t count) noexcept
+      : words_(words), count_(count), dense_(true) {}
+
+  /// View of `f` in its cheapest walkable form: the cached list when one
+  /// is valid (no decode needed), the bitmap otherwise.
+  explicit FrontierView(const Frontier& f) noexcept {
+    if (f.dense_ && !f.list_valid_) {
+      words_ = f.bits_;
+      dense_ = true;
+    } else {
+      list_ = f.list_;
+    }
+    count_ = f.count_;
+  }
+
+  [[nodiscard]] bool dense() const noexcept { return dense_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::span<const Vertex> list() const noexcept { return list_; }
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+ private:
+  std::span<const Vertex> list_;
+  std::span<const std::uint64_t> words_;
+  std::size_t count_ = 0;
+  bool dense_ = false;
 };
 
 /// Uniform neighbor selection with a regular-degree fast path. When the
@@ -100,11 +266,22 @@ class FrontierEngine {
 
   explicit FrontierEngine(const Graph& g, FrontierOptions opts = {});
 
-  /// Expand one round: for every frontier vertex v, invoke
-  /// `sampler(v, rng, sink)`, which must call `sink(u)` once per offspring
-  /// vertex u. `next` receives the deduplicated offspring (cleared first).
-  /// `sampler` is shared across worker threads — it must be const-callable
-  /// and must not mutate shared state without synchronization.
+  /// Expand one round: for every frontier vertex v (ascending order within
+  /// each vertex-range chunk), invoke `sampler(v, rng, sink)`, which must
+  /// call `sink(u)` once per offspring vertex u. `next` receives the
+  /// deduplicated offspring in the representation the round's mode picked;
+  /// `frontier` and `next` must be distinct objects. `sampler` is shared
+  /// across worker threads — it must be const-callable and must not mutate
+  /// shared state without synchronization.
+  template <typename Sampler>
+  void expand(const Frontier& frontier, Frontier& next,
+              std::uint64_t round_seed, const Sampler& sampler);
+
+  /// Span-in / vector-out variant for processes that maintain their own
+  /// lists (gossip). `frontier` must be sorted ascending and duplicate-free
+  /// (all engine outputs are); `next` receives the deduplicated offspring
+  /// sorted ascending (cleared first), materialized even after dense
+  /// rounds (via the engine's scratch bitmap).
   template <typename Sampler>
   void expand(std::span<const Vertex> frontier, std::vector<Vertex>& next,
               std::uint64_t round_seed, const Sampler& sampler);
@@ -114,12 +291,16 @@ class FrontierEngine {
   /// so it composes with expand rounds.
   void dedupe(std::span<const Vertex> in, std::vector<Vertex>& out);
 
+  /// Dedup `in` into a canonical (sorted ascending) sparse frontier — the
+  /// reset path of every engine client.
+  void dedupe(std::span<const Vertex> in, Frontier& out);
+
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
   /// Mutable knobs — tests pin chunk_size / threshold / pool explicitly.
   [[nodiscard]] FrontierOptions& options() noexcept { return opts_; }
 
-  /// How many expand rounds took each path (observability for tests/bench).
+  /// How many expand rounds took each execution path (observability).
   [[nodiscard]] std::uint64_t parallel_rounds() const noexcept {
     return parallel_rounds_;
   }
@@ -127,9 +308,20 @@ class FrontierEngine {
     return serial_rounds_;
   }
 
+  /// How many expand rounds ran each representation, and how often the
+  /// representation changed between consecutive rounds (the benches record
+  /// all three next to their timings).
+  [[nodiscard]] std::uint64_t dense_rounds() const noexcept {
+    return dense_rounds_;
+  }
+  [[nodiscard]] std::uint64_t sparse_rounds() const noexcept {
+    return sparse_rounds_;
+  }
+  [[nodiscard]] std::uint64_t switches() const noexcept { return switches_; }
+
   /// Total sink() invocations of the most recent expand round — i.e. the
-  /// offspring emitted before dedup. Counted per chunk and summed at the
-  /// merge (no shared atomic in the sampling loop), so callers whose
+  /// offspring emitted before dedup. Counted per worker and summed at the
+  /// end (no shared atomic in the sampling loop), so callers whose
   /// per-vertex emission count is data-dependent (random branching
   /// schedules) read their work measure here instead of maintaining a
   /// contended counter inside the sampler.
@@ -141,16 +333,272 @@ class FrontierEngine {
   /// Advance the epoch, wiping stamps on 32-bit wrap (the aliasing guard).
   std::uint32_t advance_epoch();
 
+  /// Pick the round's representation from the frontier size (with
+  /// hysteresis around the entry threshold) and update the counters.
+  bool choose_dense(std::size_t frontier_size);
+
+  /// The pool to use for a round of `work` estimated samples, or nullptr
+  /// for the in-line path.
+  [[nodiscard]] par::ThreadPool* pick_pool(std::size_t frontier_size) const;
+
+  [[nodiscard]] std::size_t chunk_span() const noexcept {
+    const std::size_t raw = opts_.chunk_size > 0 ? opts_.chunk_size : 1;
+    return (raw + 63) / 64 * 64;  // word-aligned vertex ranges
+  }
+
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    return (static_cast<std::size_t>(g_->num_vertices()) + 63) / 64;
+  }
+
+  void ensure_workers(std::size_t workers);
+
+  /// Active vertices of vertex-range chunk c, ascending. Sparse views
+  /// return a subspan located by binary search; dense views decode the
+  /// chunk's words into `scratch`.
+  [[nodiscard]] std::span<const Vertex> chunk_vertices(
+      const FrontierView& in, std::size_t span, std::size_t c,
+      std::vector<Vertex>& scratch) const;
+
+  /// Drive `sampler` over one chunk's active vertices with CSR row
+  /// prefetch a few vertices ahead.
+  template <typename Sampler, typename Sink>
+  void process_run(std::span<const Vertex> vs, ChunkRng& rng,
+                   const Sampler& sampler, const Sink& sink) const {
+    constexpr std::size_t kLookahead = 8;
+    [[maybe_unused]] const auto& offsets = g_->offsets();
+    [[maybe_unused]] const Vertex* targets = g_->targets().data();
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+      if (i + kLookahead < vs.size()) {
+        __builtin_prefetch(targets + offsets[vs[i + kLookahead]]);
+      }
+#endif
+      sampler(vs[i], rng, sink);
+    }
+  }
+
+  /// Serial in-line visit of every chunk with active vertices. For sparse
+  /// input this walks the sorted list run by run (no scan over empty
+  /// chunks — a 24-vertex ring frontier touches 1-2 chunks, not n/span);
+  /// dense input scans the bitmap words once.
+  template <typename Sampler, typename Sink>
+  void serial_visit(const FrontierView& in, std::size_t span,
+                    std::uint64_t round_seed, const Sampler& sampler,
+                    const Sink& sink) {
+    if (!in.dense()) {
+      const auto list = in.list();
+      std::size_t i = 0;
+      while (i < list.size()) {
+        const std::size_t c = list[i] / span;
+        const auto limit = static_cast<Vertex>(
+            std::min<std::uint64_t>((c + 1) * span, g_->num_vertices()));
+        const auto end = static_cast<std::size_t>(
+            std::lower_bound(list.begin() + static_cast<std::ptrdiff_t>(i),
+                             list.end(), limit) -
+            list.begin());
+        ChunkRng rng(Engine(rng::derive_seed(round_seed, c)));
+        process_run(list.subspan(i, end - i), rng, sampler, sink);
+        i = end;
+      }
+      return;
+    }
+    const std::size_t n_chunks =
+        (g_->num_vertices() + span - 1) / span;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const auto vs = chunk_vertices(in, span, c, scratch_decode_);
+      if (vs.empty()) continue;
+      ChunkRng rng(Engine(rng::derive_seed(round_seed, c)));
+      process_run(vs, rng, sampler, sink);
+    }
+  }
+
+  /// One sparse round into `out` (unsorted claims, sorted before return).
+  template <typename Sampler>
+  void expand_sparse(const FrontierView& in, std::vector<Vertex>& out,
+                     std::uint64_t round_seed, const Sampler& sampler);
+
+  /// One dense round into `out_bits` / `out_count`.
+  template <typename Sampler>
+  void expand_dense(const FrontierView& in, std::vector<std::uint64_t>& out_bits,
+                    std::size_t& out_count, std::uint64_t round_seed,
+                    const Sampler& sampler);
+
   const Graph* g_;
   FrontierOptions opts_;
-  std::vector<std::uint64_t> stamp_;  ///< (epoch << 32) | owner_chunk
+  std::vector<std::uint32_t> stamp_;  ///< per-vertex epoch of last claim
   std::uint32_t epoch_ = 0;
-  std::vector<std::vector<Vertex>> buffers_;  ///< per-chunk offspring
-  std::vector<std::uint64_t> chunk_emitted_;  ///< per-chunk sink() counts
+  bool last_dense_ = false;  ///< hysteresis memory
+  bool have_mode_ = false;   ///< false until the first non-empty round
+  std::vector<std::uint64_t> scratch_bits_;  ///< span-overload dense output
+  std::vector<Vertex> scratch_decode_;       ///< serial dense-input decode
+  // Reusable flat per-worker state (sized once, cleared per round).
+  std::vector<std::vector<Vertex>> worker_lists_;    ///< sparse claims
+  std::vector<std::vector<Vertex>> worker_decode_;   ///< dense-input decode
+  std::vector<std::uint64_t> worker_emitted_;
+  std::vector<std::uint64_t> worker_claimed_;
   std::uint64_t parallel_rounds_ = 0;
   std::uint64_t serial_rounds_ = 0;
+  std::uint64_t dense_rounds_ = 0;
+  std::uint64_t sparse_rounds_ = 0;
+  std::uint64_t switches_ = 0;
   std::uint64_t last_emitted_ = 0;
 };
+
+template <typename Sampler>
+void FrontierEngine::expand_sparse(const FrontierView& in,
+                                   std::vector<Vertex>& out,
+                                   std::uint64_t round_seed,
+                                   const Sampler& sampler) {
+  const std::size_t span = chunk_span();
+  const std::size_t n_chunks =
+      (static_cast<std::size_t>(g_->num_vertices()) + span - 1) / span;
+  const std::uint32_t epoch = advance_epoch();
+  par::ThreadPool* pool = pick_pool(in.size());
+
+  if (pool == nullptr || n_chunks <= 1) {
+    ++serial_rounds_;
+    std::uint64_t emitted = 0;
+    const auto sink = [&](Vertex u) {
+      ++emitted;
+      if (stamp_[u] != epoch) {
+        stamp_[u] = epoch;
+        out.push_back(u);
+      }
+    };
+    serial_visit(in, span, round_seed, sampler, sink);
+    last_emitted_ = emitted;
+  } else {
+    ++parallel_rounds_;
+    const std::size_t workers = std::min(pool->size(), n_chunks);
+    ensure_workers(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      worker_lists_[w].clear();
+      worker_emitted_[w] = 0;
+    }
+    par::parallel_for_chunks(
+        *pool, n_chunks, workers, [&](std::size_t w, std::size_t c) {
+          const auto vs = chunk_vertices(in, span, c, worker_decode_[w]);
+          if (vs.empty()) return;
+          ChunkRng rng(Engine(rng::derive_seed(round_seed, c)));
+          auto& claims = worker_lists_[w];
+          std::uint64_t emitted = 0;
+          const auto sink = [&](Vertex u) {
+            ++emitted;
+            std::atomic_ref<std::uint32_t> cell(stamp_[u]);
+            std::uint32_t cur = cell.load(std::memory_order_relaxed);
+            // One strong CAS suffices: every contending write this round
+            // installs the same epoch value, so failure == already claimed.
+            if (cur != epoch &&
+                cell.compare_exchange_strong(cur, epoch,
+                                             std::memory_order_relaxed)) {
+              claims.push_back(u);
+            }
+          };
+          process_run(vs, rng, sampler, sink);
+          worker_emitted_[w] += emitted;
+        });
+    std::uint64_t emitted = 0;
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      emitted += worker_emitted_[w];
+      total += worker_lists_[w].size();
+    }
+    out.reserve(out.size() + total);
+    for (std::size_t w = 0; w < workers; ++w) {
+      out.insert(out.end(), worker_lists_[w].begin(), worker_lists_[w].end());
+    }
+    last_emitted_ = emitted;
+  }
+  // Canonical ascending order: what makes the result independent of both
+  // the schedule (claim sets are schedule-independent) and the
+  // representation (the dense path is ascending by construction).
+  std::sort(out.begin(), out.end());
+}
+
+template <typename Sampler>
+void FrontierEngine::expand_dense(const FrontierView& in,
+                                  std::vector<std::uint64_t>& out_bits,
+                                  std::size_t& out_count,
+                                  std::uint64_t round_seed,
+                                  const Sampler& sampler) {
+  const std::size_t span = chunk_span();
+  const std::size_t n_chunks =
+      (static_cast<std::size_t>(g_->num_vertices()) + span - 1) / span;
+  out_bits.assign(num_words(), 0);  // the round's one O(n/64) clear
+  par::ThreadPool* pool = pick_pool(in.size());
+
+  if (pool == nullptr || n_chunks <= 1) {
+    ++serial_rounds_;
+    std::uint64_t emitted = 0;
+    std::size_t claimed = 0;
+    std::uint64_t* bits = out_bits.data();
+    const auto sink = [&](Vertex u) {
+      ++emitted;
+      std::uint64_t& word = bits[u >> 6];
+      const std::uint64_t bit = 1ULL << (u & 63);
+      claimed += (word & bit) == 0;
+      word |= bit;
+    };
+    serial_visit(in, span, round_seed, sampler, sink);
+    last_emitted_ = emitted;
+    out_count = claimed;
+  } else {
+    ++parallel_rounds_;
+    const std::size_t workers = std::min(pool->size(), n_chunks);
+    ensure_workers(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      worker_emitted_[w] = 0;
+      worker_claimed_[w] = 0;
+    }
+    std::uint64_t* bits = out_bits.data();
+    par::parallel_for_chunks(
+        *pool, n_chunks, workers, [&](std::size_t w, std::size_t c) {
+          const auto vs = chunk_vertices(in, span, c, worker_decode_[w]);
+          if (vs.empty()) return;
+          ChunkRng rng(Engine(rng::derive_seed(round_seed, c)));
+          std::uint64_t emitted = 0;
+          std::uint64_t claimed = 0;
+          const auto sink = [&](Vertex u) {
+            ++emitted;
+            std::atomic_ref<std::uint64_t> word(bits[u >> 6]);
+            const std::uint64_t bit = 1ULL << (u & 63);
+            const std::uint64_t old =
+                word.fetch_or(bit, std::memory_order_relaxed);
+            claimed += (old & bit) == 0;
+          };
+          process_run(vs, rng, sampler, sink);
+          worker_emitted_[w] += emitted;
+          worker_claimed_[w] += claimed;
+        });
+    std::uint64_t emitted = 0;
+    std::size_t claimed = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      emitted += worker_emitted_[w];
+      claimed += worker_claimed_[w];
+    }
+    last_emitted_ = emitted;
+    out_count = claimed;
+  }
+}
+
+template <typename Sampler>
+void FrontierEngine::expand(const Frontier& frontier, Frontier& next,
+                            std::uint64_t round_seed, const Sampler& sampler) {
+  assert(&frontier != &next);
+  next.clear();
+  last_emitted_ = 0;
+  if (frontier.empty()) return;  // no epoch/bitmap burn for extinct processes
+
+  const FrontierView in(frontier);
+  if (choose_dense(in.size())) {
+    expand_dense(in, next.bits_, next.count_, round_seed, sampler);
+    next.dense_ = true;
+    next.list_valid_ = false;  // materialized lazily by vertices()
+  } else {
+    expand_sparse(in, next.list_, round_seed, sampler);
+    next.count_ = next.list_.size();
+  }
+}
 
 template <typename Sampler>
 void FrontierEngine::expand(std::span<const Vertex> frontier,
@@ -158,106 +606,17 @@ void FrontierEngine::expand(std::span<const Vertex> frontier,
                             std::uint64_t round_seed, const Sampler& sampler) {
   next.clear();
   last_emitted_ = 0;
-  if (frontier.empty()) return;  // no epoch burn for extinct processes
+  if (frontier.empty()) return;
 
-  const std::uint32_t epoch = advance_epoch();
-  const std::uint64_t epoch_bits = static_cast<std::uint64_t>(epoch) << 32;
-  const std::size_t chunk_size = opts_.chunk_size > 0 ? opts_.chunk_size : 1;
-  const std::size_t n_chunks = (frontier.size() + chunk_size - 1) / chunk_size;
-
-  // Resolve the pool lazily: a walk whose frontier never clears the
-  // threshold must not spawn the process-wide pool as a side effect.
-  par::ThreadPool* pool = nullptr;
-  bool parallel = frontier.size() >= opts_.parallel_threshold && n_chunks > 1;
-  if (parallel) {
-    pool = opts_.pool != nullptr ? opts_.pool : &par::global_pool();
-    parallel = pool->size() > 1 && !pool->on_worker_thread();
+  const FrontierView in(frontier);  // asserts sortedness in debug builds
+  if (choose_dense(in.size())) {
+    std::size_t count = 0;
+    expand_dense(in, scratch_bits_, count, round_seed, sampler);
+    next.reserve(count);
+    detail::decode_bits(scratch_bits_, 0, scratch_bits_.size(), next);
+  } else {
+    expand_sparse(in, next, round_seed, sampler);
   }
-
-  if (!parallel) {
-    ++serial_rounds_;
-    std::uint64_t emitted = 0;
-    // In-order chunk walk: "first chunk to sample u" == "min chunk", so
-    // this is definitionally the parallel result.
-    for (std::size_t c = 0; c < n_chunks; ++c) {
-      ChunkRng rng(Engine(rng::derive_seed(round_seed, c)));
-      const std::uint64_t tag = epoch_bits | c;
-      const auto sink = [&](Vertex u) {
-        ++emitted;
-        if ((stamp_[u] >> 32) != epoch) {
-          stamp_[u] = tag;
-          next.push_back(u);
-        }
-      };
-      const std::size_t lo = c * chunk_size;
-      const std::size_t hi = std::min(frontier.size(), lo + chunk_size);
-      for (std::size_t i = lo; i < hi; ++i) sampler(frontier[i], rng, sink);
-    }
-    last_emitted_ = emitted;
-    return;
-  }
-
-  ++parallel_rounds_;
-  if (buffers_.size() < n_chunks) buffers_.resize(n_chunks);
-  if (chunk_emitted_.size() < n_chunks) chunk_emitted_.resize(n_chunks);
-
-  // Pass A — sample every chunk into its own buffer; contended vertices are
-  // claimed by CAS with min-chunk-wins resolution. A chunk pushes u at most
-  // once (its claim can only be stolen by a LOWER chunk, after which every
-  // re-sample of u sees owner <= c and skips). The cursor lives on this
-  // frame: wait_idle() below outlives every task that references it.
-  std::atomic<std::size_t> next_chunk{0};
-  const std::size_t workers = std::min(pool->size(), n_chunks);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool->submit([this, &next_chunk, n_chunks, chunk_size, frontier, epoch,
-                  epoch_bits, round_seed, &sampler] {
-      for (;;) {
-        const std::size_t c =
-            next_chunk.fetch_add(1, std::memory_order_relaxed);
-        if (c >= n_chunks) return;
-        auto& buffer = buffers_[c];
-        buffer.clear();
-        ChunkRng rng(Engine(rng::derive_seed(round_seed, c)));
-        const std::uint64_t tag = epoch_bits | c;
-        std::uint64_t emitted = 0;
-        const auto sink = [&](Vertex u) {
-          ++emitted;
-          std::atomic_ref<std::uint64_t> cell(stamp_[u]);
-          std::uint64_t cur = cell.load(std::memory_order_relaxed);
-          for (;;) {
-            if ((cur >> 32) == epoch &&
-                (cur & 0xffffffffULL) <= c) {
-              return;  // already owned by this or a lower chunk
-            }
-            if (cell.compare_exchange_weak(cur, tag,
-                                           std::memory_order_relaxed)) {
-              buffer.push_back(u);
-              return;
-            }
-          }
-        };
-        const std::size_t lo = c * chunk_size;
-        const std::size_t hi = std::min(frontier.size(), lo + chunk_size);
-        for (std::size_t i = lo; i < hi; ++i) sampler(frontier[i], rng, sink);
-        chunk_emitted_[c] = emitted;
-      }
-    });
-  }
-  pool->wait_idle();
-
-  // Pass B — deterministic merge: concatenate in chunk order, keeping only
-  // the entries each chunk still owns (stolen entries surface in the
-  // thief's buffer instead, at the position the serial pass would have
-  // produced them).
-  std::uint64_t emitted = 0;
-  for (std::size_t c = 0; c < n_chunks; ++c) {
-    const std::uint64_t tag = epoch_bits | c;
-    emitted += chunk_emitted_[c];
-    for (const Vertex u : buffers_[c]) {
-      if (stamp_[u] == tag) next.push_back(u);
-    }
-  }
-  last_emitted_ = emitted;
 }
 
 }  // namespace cobra::core

@@ -71,8 +71,6 @@ GeneralizedCobraWalk::GeneralizedCobraWalk(const Graph& g, Vertex start,
   if (g.min_degree() == 0) {
     throw std::invalid_argument("GeneralizedCobraWalk: isolated vertex");
   }
-  frontier_.reserve(g.num_vertices());
-  next_.reserve(g.num_vertices());
   reset(start);
 }
 

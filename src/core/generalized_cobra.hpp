@@ -73,9 +73,15 @@ class GeneralizedCobraWalk {
 
   void step(Engine& gen);
 
-  [[nodiscard]] std::span<const Vertex> active() const noexcept {
-    return frontier_;
+  /// Active vertices, sorted ascending (materializes after dense rounds;
+  /// `frontier().size()` is the O(1) count).
+  [[nodiscard]] std::span<const Vertex> active() const {
+    return frontier_.vertices();
   }
+
+  /// The active set in its native sparse/dense representation.
+  [[nodiscard]] const Frontier& frontier() const noexcept { return frontier_; }
+
   [[nodiscard]] bool extinct() const noexcept { return frontier_.empty(); }
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
@@ -89,8 +95,8 @@ class GeneralizedCobraWalk {
   BranchingSchedule schedule_;
   FrontierEngine engine_;
   NeighborSampler pick_;
-  std::vector<Vertex> frontier_;
-  std::vector<Vertex> next_;
+  Frontier frontier_;
+  Frontier next_;
   std::uint64_t round_ = 0;
   std::uint64_t samples_ = 0;
 };

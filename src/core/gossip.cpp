@@ -1,5 +1,6 @@
 #include "core/gossip.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -14,11 +15,7 @@ Gossip::Gossip(const Graph& g, Vertex start, GossipMode mode)
     throw std::out_of_range("Gossip: start out of range");
   }
   informed_list_.reserve(g.num_vertices());
-  uninformed_list_.resize(g.num_vertices());
-  std::iota(uninformed_list_.begin(), uninformed_list_.end(), Vertex{0});
-  uninformed_pos_.resize(g.num_vertices());
-  std::iota(uninformed_pos_.begin(), uninformed_pos_.end(), 0u);
-  inform(start);
+  reset(start);
 }
 
 void Gossip::reset(Vertex start) {
@@ -29,22 +26,30 @@ void Gossip::reset(Vertex start) {
   informed_list_.clear();
   uninformed_list_.resize(g_->num_vertices());
   std::iota(uninformed_list_.begin(), uninformed_list_.end(), Vertex{0});
-  std::iota(uninformed_pos_.begin(), uninformed_pos_.end(), 0u);
   round_ = 0;
-  inform(start);
+  absorb(std::span<const Vertex>(&start, 1));
 }
 
-void Gossip::inform(Vertex v) {
-  if (informed_[v] != 0) return;
-  informed_[v] = 1;
-  informed_list_.push_back(v);
-  // Swap-remove from the uninformed list; the resulting order is a pure
-  // function of the inform sequence, so pull rounds stay deterministic.
-  const std::uint32_t pos = uninformed_pos_[v];
-  const Vertex last = uninformed_list_.back();
-  uninformed_list_[pos] = last;
-  uninformed_pos_[last] = pos;
-  uninformed_list_.pop_back();
+void Gossip::absorb(std::span<const Vertex> fresh) {
+  if (fresh.empty()) return;
+  for (const Vertex v : fresh) informed_[v] = 1;
+  // Both lists stay sorted: fresh is sorted and disjoint from the informed
+  // list, so one inplace_merge keeps it ordered. The uninformed list only
+  // compacts eagerly when a pull phase will read it next round; in Push
+  // mode it goes stale and the accessor compacts on demand.
+  const auto old_size = static_cast<std::ptrdiff_t>(informed_list_.size());
+  informed_list_.insert(informed_list_.end(), fresh.begin(), fresh.end());
+  std::inplace_merge(informed_list_.begin(), informed_list_.begin() + old_size,
+                     informed_list_.end());
+  uninformed_stale_ = true;
+  if (mode_ != GossipMode::Push) compact_uninformed();
+}
+
+void Gossip::compact_uninformed() const {
+  if (!uninformed_stale_) return;
+  std::erase_if(uninformed_list_,
+                [this](Vertex v) { return informed_[v] != 0; });
+  uninformed_stale_ = false;
 }
 
 void Gossip::step(Engine& gen) {
@@ -75,8 +80,12 @@ void Gossip::step(Engine& gen) {
                      if (informed_[u] != 0) sink(v);
                    });
   }
-  for (const Vertex v : newly_) inform(v);
-  for (const Vertex v : pull_newly_) inform(v);
+  // A vertex can be both pushed to and a successful puller; the sorted
+  // union collapses it before the merge into the informed list.
+  merged_.clear();
+  std::set_union(newly_.begin(), newly_.end(), pull_newly_.begin(),
+                 pull_newly_.end(), std::back_inserter(merged_));
+  absorb(merged_);
 }
 
 }  // namespace cobra::core

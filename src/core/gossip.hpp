@@ -20,8 +20,19 @@
 /// maintained UNINFORMED list — each uninformed vertex polls one neighbor,
 /// and the engine's chunked determinism applies symmetrically. The two
 /// lists are complementary frontiers: push work grows toward n while pull
-/// work shrinks toward 0, so a round is O(|informed| + |uninformed|)
-/// sampled work with no O(n) full-vertex scan anywhere.
+/// work shrinks toward 0. Both lists are kept sorted ascending (the
+/// engine's canonical frontier order): newly informed vertices merge into
+/// the informed list with one inplace_merge and filter out of the
+/// uninformed list with one linear compaction per round — O(new log new +
+/// |informed| + |uninformed|) maintenance, the same order as the round's
+/// sampling itself. (In Push mode, which never reads the uninformed list,
+/// the compaction is deferred to the uninformed() accessor.)
+///
+/// Observability caveat: PushPull runs two opposite-sized frontiers
+/// through ONE engine, so the engine's dense_rounds()/switches() counters
+/// and the sparse/dense hysteresis memory interleave both phases — the
+/// representation choice stays correct per phase (it can never affect
+/// results), but read the counters as a blend, not a per-phase series.
 
 namespace cobra::core {
 
@@ -39,14 +50,18 @@ class Gossip {
 
   void step(Engine& gen);
 
-  /// All informed vertices (monotonically growing).
+  /// All informed vertices (monotonically growing, sorted ascending).
   [[nodiscard]] std::span<const Vertex> active() const noexcept {
     return informed_list_;
   }
 
-  /// All uninformed vertices — the pull phase's frontier (order is an
-  /// implementation detail; content is what callers may rely on).
-  [[nodiscard]] std::span<const Vertex> uninformed() const noexcept {
+  /// All uninformed vertices — the pull phase's frontier (sorted
+  /// ascending). In pull-running modes the list is maintained eagerly
+  /// (the pull phase reads it every round anyway); in Push mode it is
+  /// compacted lazily here, so a pure push cover run never pays the
+  /// O(|uninformed|)-per-round maintenance for a list nothing reads.
+  [[nodiscard]] std::span<const Vertex> uninformed() const {
+    compact_uninformed();
     return uninformed_list_;
   }
 
@@ -65,18 +80,28 @@ class Gossip {
   [[nodiscard]] FrontierEngine& engine() noexcept { return engine_; }
 
  private:
-  void inform(Vertex v);
+  /// Flag and merge the round's newly informed set (sorted, disjoint from
+  /// informed_list_) into the maintained lists.
+  void absorb(std::span<const Vertex> fresh);
+
+  /// Drop flagged vertices from the uninformed list (idempotent: the
+  /// informed_ flags are authoritative, the list is a sorted superset
+  /// between compactions).
+  void compact_uninformed() const;
 
   const Graph* g_;
   GossipMode mode_;
   FrontierEngine engine_;
   NeighborSampler pick_;
   std::vector<std::uint8_t> informed_;
-  std::vector<Vertex> informed_list_;
-  std::vector<Vertex> uninformed_list_;
-  std::vector<std::uint32_t> uninformed_pos_;  ///< index of v in uninformed_list_
+  std::vector<Vertex> informed_list_;  ///< sorted ascending
+  /// Sorted ascending; in Push mode may transiently contain already-
+  /// informed vertices until the next compact_uninformed().
+  mutable std::vector<Vertex> uninformed_list_;
+  mutable bool uninformed_stale_ = false;
   std::vector<Vertex> newly_;       // scratch: push offspring this round
   std::vector<Vertex> pull_newly_;  // scratch: pull adopters this round
+  std::vector<Vertex> merged_;      // scratch: union of the two
   std::uint64_t round_ = 0;
 };
 

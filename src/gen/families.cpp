@@ -1,6 +1,8 @@
 #include "gen/families.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <set>
 #include <stdexcept>
@@ -28,6 +30,7 @@ using ChunkEngine = rng::Xoshiro256;
 // changing one changes the graph a given seed produces.
 constexpr std::uint64_t kGnpEdgesPerChunk = 1u << 16;
 constexpr std::uint64_t kGnpMaxChunks = 1u << 16;
+constexpr std::uint64_t kGnmEdgesPerChunk = 1u << 16;
 constexpr std::uint64_t kRmatEdgesPerChunk = 1u << 16;
 constexpr std::uint64_t kWsVerticesPerChunk = 1u << 14;
 constexpr std::uint64_t kBaEdgesPerChunk = 1u << 16;
@@ -174,6 +177,67 @@ Graph gnp(std::uint32_t n, double p, std::uint64_t seed,
       t += static_cast<std::uint64_t>(skip);
       emit(t);
       ++t;
+    }
+  });
+  return assemble(n, chunks, false, opts);
+}
+
+Graph gnm(std::uint32_t n, std::uint64_t m, std::uint64_t seed,
+          const GenOptions& opts) {
+  const std::uint64_t total_pairs =
+      static_cast<std::uint64_t>(n) * (n > 0 ? n - 1 : 0) / 2;
+  if (m > total_pairs) {
+    throw std::invalid_argument("gnm: m exceeds n*(n-1)/2");
+  }
+  if (m == 0) {
+    std::vector<std::vector<Edge>> none;
+    return assemble(n, none, false, opts);
+  }
+
+  // Keyed 4-round Feistel over 2*half_bits >= ceil(log2(total_pairs))
+  // bits, cycle-walked into [0, total_pairs): a pseudorandom PERMUTATION
+  // of the pair space, so slots 0..m-1 name m distinct pairs and every
+  // slot resolves from hashes alone — the same property that makes ba's
+  // copy model chunkable. The walk revisits the domain within the
+  // permutation cycle of its seed value, so it terminates; the domain is
+  // under 4x the pair count, so the expected walk length is < 4.
+  const int half_bits = std::max(
+      1, (static_cast<int>(std::bit_width(total_pairs - 1)) + 1) / 2);
+  const std::uint64_t half_mask = (1ULL << half_bits) - 1;
+  std::array<std::uint64_t, 4> round_key{};
+  for (std::size_t r = 0; r < round_key.size(); ++r) {
+    round_key[r] = rng::derive_seed(seed, 0xFE157E1ULL + r);
+  }
+  const auto permute = [&](std::uint64_t slot) {
+    std::uint64_t x = slot;
+    do {
+      std::uint64_t left = x >> half_bits;
+      std::uint64_t right = x & half_mask;
+      for (const std::uint64_t key : round_key) {
+        const std::uint64_t f = rng::splitmix64_mix(key ^ right) & half_mask;
+        const std::uint64_t swapped = right;
+        right = left ^ f;
+        left = swapped;
+      }
+      x = (left << half_bits) | right;
+    } while (x >= total_pairs);
+    return x;
+  };
+
+  const std::uint64_t n_chunks =
+      std::max<std::uint64_t>(1, (m + kGnmEdgesPerChunk - 1) /
+                                     kGnmEdgesPerChunk);
+  std::vector<std::vector<Edge>> chunks(n_chunks);
+  run_chunks(opts, n_chunks, [&](std::size_t c) {
+    const std::uint64_t lo = range_start(m, n_chunks, c);
+    const std::uint64_t hi = range_start(m, n_chunks, c + 1);
+    auto& out = chunks[c];
+    out.reserve(static_cast<std::size_t>(hi - lo));
+    for (std::uint64_t slot = lo; slot < hi; ++slot) {
+      const std::uint64_t t = permute(slot);
+      const std::uint64_t r = pair_row(t);
+      out.emplace_back(static_cast<Vertex>(r),
+                       static_cast<Vertex>(t - r * (r - 1) / 2));
     }
   });
   return assemble(n, chunks, false, opts);

@@ -24,6 +24,11 @@
 /// Families:
 ///   * gnp  — Erdős–Rényi G(n, p) via per-chunk Batagelj–Brandes geometric
 ///            edge skipping over a fixed partition of the pair space
+///   * gnm  — Erdős–Rényi G(n, m) with an EXACT edge count: edge slot i
+///            takes the pair whose linear index is perm(i) under a keyed
+///            Feistel permutation of the pair space, so the m distinct
+///            pairs resolve independently per slot (pure hash, no
+///            rejection set, no serial state)
 ///   * rmat — recursive-matrix (Chakrabarti–Zhan–Faloutsos) edge sampling,
 ///            chunked over the edge index space
 ///   * ws   — Watts–Strogatz ring lattice with probabilistic rewiring,
@@ -53,6 +58,15 @@ struct GenOptions {
 /// Simple by construction; not necessarily connected.
 [[nodiscard]] graph::Graph gnp(std::uint32_t n, double p, std::uint64_t seed,
                                const GenOptions& opts = {});
+
+/// G(n, m): a uniformly random simple graph with EXACTLY m edges, drawn as
+/// the first m slots of a keyed pseudorandom permutation (4-round Feistel
+/// with cycle-walking) of the C(n,2) pair space. Each edge is a pure
+/// function of (seed, slot), so generation chunks over slots with no
+/// dedup or rejection bookkeeping. Requires m <= n*(n-1)/2. Simple by
+/// construction; not necessarily connected.
+[[nodiscard]] graph::Graph gnm(std::uint32_t n, std::uint64_t m,
+                               std::uint64_t seed, const GenOptions& opts = {});
 
 /// R-MAT with `num_edges` undirected edge draws over 2^levels vertices and
 /// quadrant probabilities (a, b, c, 1-a-b-c). Edges are canonicalized to

@@ -73,6 +73,18 @@ Graph build_gnp(const GraphSpec& spec, const GenOptions& opts) {
   return gnp(n, p, default_seed(spec), opts);
 }
 
+Graph build_gnm(const GraphSpec& spec, const GenOptions& opts) {
+  const std::uint32_t n = spec_n(spec);
+  if (spec.has("m") == spec.has("avg_deg")) {
+    fail("gnm needs exactly one of m=, avg_deg=");
+  }
+  const std::uint64_t m =
+      spec.has("m") ? spec.require_uint("m")
+                    : static_cast<std::uint64_t>(std::llround(
+                          spec.require_double("avg_deg") * n / 2.0));
+  return gnm(n, m, default_seed(spec), opts);
+}
+
 Graph build_rmat(const GraphSpec& spec, const GenOptions& opts) {
   const std::uint64_t requested_n = spec.require_uint("n");
   if (requested_n < 2) fail("rmat: n >= 2");
@@ -179,6 +191,11 @@ const std::vector<FamilyInfo>& registry() {
          "Erdos-Renyi G(n, p); chunk-parallel geometric edge skipping",
          {"n", "p", "avg_deg"},
          build_gnp},
+        true);
+    add({"gnm", "gnm:n=<N>,{m=<M>|avg_deg=<D>}",
+         "Erdos-Renyi G(n, m), exactly m edges; Feistel-permuted pairs",
+         {"n", "m", "avg_deg"},
+         build_gnm},
         true);
     add({"rmat", "rmat:n=<N>,{deg=<D>|m=<M>}[,a=.57,b=.19,c=.19]",
          "R-MAT power-law digraph made undirected; n rounds up to 2^k",

@@ -10,11 +10,14 @@
 
 /// \file parallel_for.hpp
 /// Chunked parallel loops over index ranges, layered on ThreadPool.
-/// Two schedules are provided:
+/// Three schedules are provided:
 ///   * parallel_for        — static chunking; best when iterations are uniform
 ///   * parallel_for_dynamic — atomic work-stealing counter; best when
 ///     iteration cost varies wildly (e.g. cover-time trials whose length is
 ///     itself the random variable under study).
+///   * parallel_for_chunks — dynamic claiming with stable worker ids; best
+///     when workers carry reusable scratch (buffers, decode space) across
+///     the chunks they claim — the FrontierEngine's range-chunk schedule.
 ///
 /// Exceptions thrown by the body are captured and rethrown (first one wins)
 /// on the calling thread, so callers see normal C++ error flow.
@@ -89,6 +92,42 @@ void parallel_for_dynamic(ThreadPool& pool, std::size_t begin, std::size_t end,
           const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
           if (i >= end) return;
           body(i);
+        }
+      } catch (...) {
+        errors.capture();
+      }
+    });
+  }
+  pool.wait_idle();
+  errors.rethrow_if_any();
+}
+
+/// Apply body(worker, chunk) for chunk in [0, n_chunks), claimed
+/// dynamically by `workers` tasks with STABLE worker ids in [0, workers)
+/// (clamped to pool.size() and n_chunks). The worker id lets callers keep
+/// reusable per-worker scratch without allocation inside the loop, while
+/// the chunk id stays the deterministic unit of work (callers key
+/// per-chunk RNG streams off it, so results never depend on which worker
+/// ran which chunk). With 0 or 1 effective workers the chunks run in-line
+/// on the calling thread.
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, std::size_t n_chunks,
+                         std::size_t workers, Body&& body) {
+  if (n_chunks == 0) return;
+  workers = std::min({workers, pool.size(), n_chunks});
+  if (workers <= 1) {
+    for (std::size_t c = 0; c < n_chunks; ++c) body(std::size_t{0}, c);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  detail::ExceptionCollector errors;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([w, next, n_chunks, &body, &errors] {
+      try {
+        for (;;) {
+          const std::size_t c = next->fetch_add(1, std::memory_order_relaxed);
+          if (c >= n_chunks) return;
+          body(w, c);
         }
       } catch (...) {
         errors.capture();

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "core/coalescing_walk.hpp"
 #include "core/cobra_walk.hpp"
 #include "core/generalized_cobra.hpp"
 #include "graph/generators.hpp"
@@ -14,6 +15,7 @@
 namespace cobra::core {
 namespace {
 
+using graph::make_complete;
 using graph::make_cycle;
 using graph::make_grid;
 using graph::make_hypercube;
@@ -191,6 +193,216 @@ TEST(FrontierEngine, ExtinctGeneralizedWalkStepsAreCheapNoOps) {
   EXPECT_EQ(walk.round(), 101u);
   // No randomness consumed, no epoch advanced: the step is a pure counter.
   EXPECT_EQ(gen.state(), state_before);
+}
+
+/// Run `rounds` rounds through the Frontier-object API, recording the
+/// materialized frontier after every round.
+std::vector<std::vector<Vertex>> run_trajectory(const Graph& g,
+                                                FrontierOptions opts,
+                                                int rounds) {
+  FrontierEngine engine(g, opts);
+  const TwoSampler sampler{&g, NeighborSampler(g)};
+  std::vector<Vertex> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), 0u);
+  Frontier frontier, next;
+  engine.dedupe(all, frontier);
+  std::vector<std::vector<Vertex>> trajectory;
+  for (int r = 0; r < rounds; ++r) {
+    // Same seed schedule as run_rounds, so span-API and Frontier-API
+    // trajectories are directly comparable.
+    engine.expand(frontier, next, /*round_seed=*/0x5EED0000ULL + r, sampler);
+    frontier.swap(next);
+    const auto vs = frontier.vertices();
+    trajectory.emplace_back(vs.begin(), vs.end());
+  }
+  return trajectory;
+}
+
+TEST(FrontierEngine, SparseAndDensePathsProduceIdenticalTrajectories) {
+  Engine graph_gen(31);
+  const Graph g = make_random_regular(graph_gen, 4096, 4);
+
+  FrontierOptions sparse;
+  sparse.chunk_size = kChunk;
+  sparse.parallel_threshold = static_cast<std::size_t>(-1);
+  sparse.mode = FrontierMode::ForceSparse;
+  FrontierOptions dense = sparse;
+  dense.mode = FrontierMode::ForceDense;
+  FrontierOptions automatic = sparse;
+  automatic.mode = FrontierMode::Auto;
+
+  const auto ref = run_trajectory(g, sparse, 8);
+  EXPECT_EQ(run_trajectory(g, dense, 8), ref);
+  EXPECT_EQ(run_trajectory(g, automatic, 8), ref);
+  // The span-in/vector-out API (gossip's path) must agree as well — it
+  // shares the chunk streams, only the output plumbing differs.
+  EXPECT_EQ(run_rounds(g, dense, 8), ref.back());
+}
+
+TEST(FrontierEngine, ForcedDenseBitIdenticalAcrossThreadCounts) {
+  Engine graph_gen(32);
+  const Graph g = make_random_regular(graph_gen, 20000, 4);
+
+  FrontierOptions serial;
+  serial.chunk_size = kChunk;
+  serial.parallel_threshold = static_cast<std::size_t>(-1);
+  serial.mode = FrontierMode::ForceDense;
+  const auto reference = run_trajectory(g, serial, 6);
+  ASSERT_GT(reference.back().size(), 1000u);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    par::ThreadPool pool(threads);
+    FrontierOptions opts = serial;
+    opts.parallel_threshold = 1;
+    opts.pool = &pool;
+    EXPECT_EQ(run_trajectory(g, opts, 6), reference)
+        << threads << " threads (forced dense)";
+  }
+}
+
+TEST(FrontierEngine, DenseRoundsAreTakenAndCountedInAutoMode) {
+  Engine graph_gen(33);
+  const Graph g = make_random_regular(graph_gen, 20000, 4);
+  FrontierOptions opts;
+  opts.chunk_size = kChunk;
+  opts.parallel_threshold = static_cast<std::size_t>(-1);
+  FrontierEngine engine(g, opts);
+  const TwoSampler sampler{&g, NeighborSampler(g)};
+  std::vector<Vertex> all(g.num_vertices());
+  std::iota(all.begin(), all.end(), 0u);
+  Frontier frontier, next;
+  engine.dedupe(all, frontier);  // Θ(n) frontier: must run dense
+  engine.expand(frontier, next, 9, sampler);
+  EXPECT_EQ(engine.dense_rounds(), 1u);
+  EXPECT_EQ(engine.sparse_rounds(), 0u);
+  EXPECT_TRUE(next.dense());
+  // The materialized view is sorted and duplicate-free by construction.
+  const auto vs = next.vertices();
+  EXPECT_EQ(next.size(), vs.size());
+  EXPECT_TRUE(std::is_sorted(vs.begin(), vs.end()));
+  EXPECT_TRUE(std::adjacent_find(vs.begin(), vs.end()) == vs.end());
+}
+
+TEST(FrontierEngine, SwitchHysteresisAcrossACoalescenceRun) {
+  // Coalescing walks from every vertex of K_n: the walker set starts at
+  // Θ(n) (dense) and shrinks to 1 (sparse), crossing the switch band on
+  // the way down; a cobra walk from one vertex crosses it upward. With
+  // dense_alpha = 8 on n = 1024 the engine enters dense above 128 and
+  // leaves below 64 — inside that band the PREVIOUS representation must
+  // stick (hysteresis), and the run must record exactly the transitions.
+  const Graph g = make_complete(1024);
+  CoalescingWalks walks(g, [] {
+    std::vector<Vertex> all(1024);
+    std::iota(all.begin(), all.end(), 0u);
+    return all;
+  }());
+  auto& opts = walks.engine().options();
+  opts.parallel_threshold = static_cast<std::size_t>(-1);
+  opts.dense_alpha = 8.0;
+
+  Engine gen(77);
+  bool saw_band_round = false;
+  while (walks.walker_count() > 1 && walks.round() < 100000) {
+    const std::size_t before = walks.walker_count();
+    const std::uint64_t dense_before = walks.engine().dense_rounds();
+    walks.step(gen);
+    if (before >= 64 && before <= 128) {
+      // Inside the hysteresis band coming down from dense: stays dense.
+      EXPECT_EQ(walks.engine().dense_rounds(), dense_before + 1)
+          << "band round at walker count " << before;
+      saw_band_round = true;
+    }
+  }
+  EXPECT_EQ(walks.walker_count(), 1u);
+  EXPECT_TRUE(saw_band_round);
+  EXPECT_GT(walks.engine().dense_rounds(), 0u);
+  EXPECT_GT(walks.engine().sparse_rounds(), 0u);
+  EXPECT_EQ(walks.engine().switches(), 1u);  // dense -> sparse exactly once
+
+  // And the trajectory is representation-independent: a forced-sparse twin
+  // reproduces the identical walker sets round for round.
+  CoalescingWalks sparse_twin(g, [] {
+    std::vector<Vertex> all(1024);
+    std::iota(all.begin(), all.end(), 0u);
+    return all;
+  }());
+  sparse_twin.engine().options().parallel_threshold =
+      static_cast<std::size_t>(-1);
+  sparse_twin.engine().options().mode = FrontierMode::ForceSparse;
+  Engine gen2(77);
+  for (std::uint64_t r = 0; r < walks.round(); ++r) sparse_twin.step(gen2);
+  EXPECT_EQ(std::vector<Vertex>(sparse_twin.active().begin(),
+                                sparse_twin.active().end()),
+            std::vector<Vertex>(walks.active().begin(), walks.active().end()));
+}
+
+TEST(FrontierEngine, EpochStampsSurviveInterleavedDenseRounds) {
+  // Dense rounds never touch the epoch stamps; sparse rounds never touch
+  // the bitmap. Alternating representations round by round on one engine
+  // must therefore match the all-sparse reference exactly, including with
+  // a dedupe() (epoch-consuming reset) spliced between rounds.
+  Engine graph_gen(34);
+  const Graph g = make_random_regular(graph_gen, 4096, 4);
+  const TwoSampler sampler{&g, NeighborSampler(g)};
+
+  auto run = [&](bool alternate) {
+    FrontierOptions opts;
+    opts.chunk_size = kChunk;
+    opts.parallel_threshold = static_cast<std::size_t>(-1);
+    opts.mode = FrontierMode::ForceSparse;
+    FrontierEngine engine(g, opts);
+    std::vector<Vertex> all(g.num_vertices());
+    std::iota(all.begin(), all.end(), 0u);
+    Frontier frontier, next;
+    engine.dedupe(all, frontier);
+    std::vector<std::vector<Vertex>> trajectory;
+    for (int r = 0; r < 10; ++r) {
+      engine.options().mode = (alternate && r % 2 == 1)
+                                  ? FrontierMode::ForceDense
+                                  : FrontierMode::ForceSparse;
+      engine.expand(frontier, next, 0xAB0BAULL + r, sampler);
+      frontier.swap(next);
+      const auto vs = frontier.vertices();
+      trajectory.emplace_back(vs.begin(), vs.end());
+      if (r == 5) {
+        // An interleaved reset-path dedupe burns an epoch; round results
+        // must be unaffected (it is a fresh epoch either way).
+        std::vector<Vertex> scratch_out;
+        engine.dedupe(std::vector<Vertex>{1, 2, 1, 3}, scratch_out);
+        EXPECT_EQ(scratch_out, (std::vector<Vertex>{1, 2, 3}));
+      }
+    }
+    return trajectory;
+  };
+
+  EXPECT_EQ(run(/*alternate=*/true), run(/*alternate=*/false));
+}
+
+TEST(FrontierEngine, ParallelThresholdIsAWorkEstimate) {
+  // 300 active vertices with branching_hint 8 is 2400 estimated samples:
+  // above a threshold of 1000 even though the raw frontier is below it.
+  Engine graph_gen(35);
+  const Graph g = make_random_regular(graph_gen, 2048, 4);
+  par::ThreadPool pool(2);
+  const TwoSampler sampler{&g, NeighborSampler(g)};
+  std::vector<Vertex> frontier(300);
+  std::iota(frontier.begin(), frontier.end(), 0u);
+  std::vector<Vertex> next;
+
+  FrontierOptions opts;
+  opts.chunk_size = kChunk;
+  opts.parallel_threshold = 1000;
+  opts.pool = &pool;
+  opts.branching_hint = 8.0;
+  FrontierEngine hinted(g, opts);
+  hinted.expand(frontier, next, 3, sampler);
+  EXPECT_EQ(hinted.parallel_rounds(), 1u);
+
+  opts.branching_hint = 1.0;  // same frontier, honest hint: stays in-line
+  FrontierEngine unhinted(g, opts);
+  unhinted.expand(frontier, next, 3, sampler);
+  EXPECT_EQ(unhinted.serial_rounds(), 1u);
+  EXPECT_EQ(unhinted.parallel_rounds(), 0u);
 }
 
 TEST(FrontierEngine, DedupeKeepsFirstOccurrence) {

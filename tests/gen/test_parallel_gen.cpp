@@ -63,6 +63,43 @@ TEST(ParallelGen, GnpEdgeCases) {
   EXPECT_EQ(gnp(1, 0.5, 1, serial).num_edges(), 0u);
 }
 
+TEST(ParallelGen, GnmThreadInvariantExactEdgesAndSimple) {
+  // 3 chunks of slots at this size; the Feistel permutation guarantees the
+  // edge count is EXACT, not concentrated.
+  const Graph g = assert_thread_invariant("gnm:n=100000,m=200000,seed=17");
+  EXPECT_EQ(g.num_vertices(), 100000u);
+  EXPECT_EQ(g.num_edges(), 200000u);
+  EXPECT_TRUE(g.is_simple());
+}
+
+TEST(ParallelGen, GnmSeedChangesGraphButNeverTheEdgeCount) {
+  GenOptions serial;
+  serial.serial = true;
+  const Graph a = build_graph("gnm:n=3000,m=9000,seed=1", serial);
+  const Graph b = build_graph("gnm:n=3000,m=9000,seed=2", serial);
+  EXPECT_NE(a.targets(), b.targets());
+  EXPECT_EQ(a.num_edges(), 9000u);
+  EXPECT_EQ(b.num_edges(), 9000u);
+}
+
+TEST(ParallelGen, GnmEdgeCasesAndSpecKeys) {
+  GenOptions serial;
+  serial.serial = true;
+  EXPECT_EQ(gnm(100, 0, 1, serial).num_edges(), 0u);
+  // m = C(n,2) is the complete graph — the permutation covers every pair.
+  const Graph complete = gnm(60, 60 * 59 / 2, 1, serial);
+  EXPECT_EQ(complete.num_edges(), 60u * 59 / 2);
+  EXPECT_TRUE(complete.is_regular());
+  EXPECT_EQ(complete.degree(0), 59u);
+  EXPECT_THROW((void)gnm(10, 46, 1, serial), std::invalid_argument);  // > C(10,2)
+  // avg_deg sugar: m = round(n * avg_deg / 2).
+  EXPECT_EQ(build_graph("gnm:n=1000,avg_deg=8,seed=3", serial).num_edges(),
+            4000u);
+  EXPECT_THROW((void)build_graph("gnm:n=100,m=10,avg_deg=2", serial),
+               std::invalid_argument);  // exactly one of m / avg_deg
+  EXPECT_THROW((void)build_graph("gnm:n=100", serial), std::invalid_argument);
+}
+
 TEST(ParallelGen, RmatThreadInvariantAndHeavyTailed) {
   const Graph g = assert_thread_invariant("rmat:n=2^14,deg=16,seed=7");
   EXPECT_EQ(g.num_vertices(), 1u << 14);

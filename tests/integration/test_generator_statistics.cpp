@@ -131,6 +131,43 @@ TEST(GeneratorStats, SpecGnpEdgeCountConcentrates) {
   EXPECT_NEAR(total / kReps, expected, 3.0 * sigma / std::sqrt(kReps));
 }
 
+TEST(GeneratorStats, SpecGnmDegreesMatchGnpAtTheSameDensity) {
+  // G(n, m) at m = C(n,2) p is G(n, p) conditioned on the edge count: per
+  // vertex, E[deg] = 2m/n exactly and Var[deg] ~ (n-1) q (1-q) with
+  // q = m / C(n,2). Check the exact count, the per-seed mean degree, and
+  // that the empirical degree variance is in the hypergeometric ballpark
+  // (a permutation that clumped pairs would blow it up).
+  const std::uint32_t n = 400;
+  const std::uint64_t m = 2400;  // avg degree 12
+  const double q = static_cast<double>(m) / (n * (n - 1) / 2.0);
+  const double expected_var = (n - 1) * q * (1 - q);
+  double var_total = 0.0;
+  constexpr int kReps = 20;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const graph::Graph g =
+        gen::build_graph("gnm:n=400,m=2400,seed=" + std::to_string(500 + rep));
+    ASSERT_EQ(g.num_edges(), m);
+    ASSERT_DOUBLE_EQ(g.average_degree(), 2.0 * m / n);
+    double ss = 0.0;
+    for (graph::Vertex v = 0; v < n; ++v) {
+      const double d = g.degree(v) - 2.0 * m / n;
+      ss += d * d;
+    }
+    var_total += ss / n;
+  }
+  EXPECT_NEAR(var_total / kReps, expected_var, 0.25 * expected_var);
+}
+
+TEST(GeneratorStats, SpecGnmAboveThresholdIsConnected) {
+  // m = 2 n ln n edges is twice the connectivity threshold.
+  const std::uint32_t n = 2000;
+  const auto m = static_cast<std::uint64_t>(2.0 * n * std::log(n));
+  const graph::Graph g =
+      gen::build_graph("gnm:n=2000,m=" + std::to_string(m) + ",seed=9");
+  EXPECT_EQ(g.num_edges(), m);
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
 TEST(GeneratorStats, SpecWattsStrogatzMeanDegreeAndSmallWorld) {
   // Rewiring preserves the edge count up to duplicate collisions, so mean
   // degree stays ~k; a small rewiring fraction already collapses the
