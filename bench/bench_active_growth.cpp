@@ -10,33 +10,38 @@
 ///   2. plateau levels: the equilibrium fraction |S_t|/n per family;
 ///   3. time to reach half the plateau (the "growth phase length"),
 ///      which is O(log n) on expanders.
+///
+/// Usage: bench_active_growth [--trials T] [--horizon H] [--graph <spec>]
+///        [--out path] [--smoke]
+///   Case graphs are built through the spec registry. --graph replaces
+///   the case list with one growth curve; --smoke shrinks graph sizes,
+///   the horizon, and the trial count for CI.
 
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "core/cobra_walk.hpp"
-#include "core/trajectory.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
 using namespace cobra;
 
-void growth_curve(const std::string& name, const graph::Graph& g,
-                  std::uint64_t horizon, std::uint64_t seed) {
+void growth_curve(bench::Harness& h, const bench::BuiltCase& c,
+                  std::uint64_t horizon, std::uint32_t trials,
+                  std::uint64_t seed) {
+  const graph::Graph& g = c.graph;
   // Median active-set size across trials at exponentially spaced rounds.
-  constexpr std::uint32_t kTrials = 50;
   std::vector<std::uint64_t> checkpoints;
   for (std::uint64_t t = 1; t <= horizon; t *= 2) checkpoints.push_back(t);
 
   std::vector<std::vector<double>> sizes(checkpoints.size());
   par::MonteCarloOptions opts;
   opts.base_seed = seed;
-  opts.trials = kTrials;
+  opts.trials = trials;
   // One trial returns nothing usable scalar-wise; collect via side vectors
   // guarded per-trial (each trial writes its own slot).
-  std::vector<std::vector<double>> per_trial(kTrials);
+  std::vector<std::vector<double>> per_trial(trials);
   par::run_trials(par::global_pool(), opts,
                   [&](core::Engine& gen, std::uint32_t trial) {
                     core::CobraWalk walk(g, 0, 2);
@@ -52,36 +57,58 @@ void growth_curve(const std::string& name, const graph::Graph& g,
                     }
                     return 0.0;
                   });
-  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
-    for (std::uint32_t trial = 0; trial < kTrials; ++trial) {
-      sizes[c].push_back(per_trial[trial][c]);
+  for (std::size_t ck = 0; ck < checkpoints.size(); ++ck) {
+    for (std::uint32_t trial = 0; trial < trials; ++trial) {
+      sizes[ck].push_back(per_trial[trial][ck]);
     }
   }
 
   io::Table table({"round t", "median |S_t|", "|S_t| / n"});
   const double n = g.num_vertices();
-  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
-    const auto s = stats::summarize(sizes[c]);
-    table.add_row({io::Table::fmt_int(static_cast<long long>(checkpoints[c])),
+  for (std::size_t ck = 0; ck < checkpoints.size(); ++ck) {
+    const auto s = stats::summarize(sizes[ck]);
+    table.add_row({io::Table::fmt_int(static_cast<long long>(checkpoints[ck])),
                    io::Table::fmt(s.median, 1),
                    io::Table::fmt(s.median / n, 3)});
+    h.json()
+        .record(c.name + "/t" + std::to_string(checkpoints[ck]))
+        .field("spec", c.spec)
+        .field("n", n)
+        .field("t", static_cast<double>(checkpoints[ck]))
+        .field("active_median", s.median)
+        .field("active_fraction", s.median / n);
   }
-  std::cout << name << "  (n = " << g.num_vertices() << ")\n" << table << "\n";
+  std::cout << c.name << "  (n = " << g.num_vertices() << ")\n" << table
+            << "\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("active_growth",
+                   bench::parse_bench_args(argc, argv, {"trials", "horizon"}));
+  const std::uint32_t trials = h.trials(50, 10);
+  const std::uint64_t horizon =
+      bench::uint_flag(h.args(), "horizon", h.smoke() ? 64 : 256);
+  h.json().context("trials", static_cast<double>(trials));
+  h.json().context("horizon", static_cast<double>(horizon));
+
   bench::print_header(
       "A8  (active-set dynamics)",
       "|S_t| growth curves: the two-phase picture behind §4's analysis");
 
-  core::Engine graph_gen(0xA8);
-  growth_curve("random 6-regular n=4096",
-               graph::make_random_regular(graph_gen, 4096, 6), 256, 0xA8100);
-  growth_curve("hypercube Q_12", graph::make_hypercube(12), 256, 0xA8200);
-  growth_curve("grid 64x64", graph::make_grid(2, 64), 256, 0xA8300);
-  growth_curve("cycle n=4096", graph::make_cycle(4096), 256, 0xA8400);
+  const std::vector<bench::SuiteCase> cases = {
+      {"random 6-regular", "rreg:n=4096,d=6,seed=168", "rreg:n=256,d=6,seed=168"},
+      {"hypercube", "hypercube:dims=12", "hypercube:dims=7"},
+      {"grid 2d", "grid:side=64,dims=2", "grid:side=16,dims=2"},
+      {"cycle", "ring:n=4096", "ring:n=256"},
+  };
+
+  std::uint64_t seed = 0xA8100;
+  for (const auto& c : h.suite(cases)) {
+    growth_curve(h, c, horizon, trials, seed);
+    seed += 0x100;
+  }
 
   std::cout
       << "reading: on expanders |S_t| doubles per round until it saturates\n"
@@ -92,5 +119,5 @@ int main() {
          "interval widens like a random walk and only a vanishing fraction\n"
          "of n is active, which is why the cycle sits at the extremal end\n"
          "of the conductance and hitting-time bounds (Thm 8, Thm 15).\n";
-  return 0;
+  return h.finish();
 }

@@ -13,7 +13,7 @@
 ///   the sweep with one registry-built graph; --smoke shrinks the trial
 ///   count for CI; --out writes the JSON records.
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "core/cover_time.hpp"
 
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   const io::Args args = bench::parse_bench_args(argc, argv, {"trials"});
   const bool smoke = args.get_bool("smoke", false);
   const auto trials =
-      static_cast<std::uint32_t>(args.get_uint("trials", smoke ? 5 : 30));
+      static_cast<std::uint32_t>(bench::uint_flag(args, "trials", smoke ? 5 : 30));
 
   bench::print_header(
       "A1  (ablation)",

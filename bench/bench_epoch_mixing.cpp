@@ -16,7 +16,7 @@
 
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "graph/mixing.hpp"
 #include "graph/spectral.hpp"

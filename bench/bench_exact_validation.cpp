@@ -8,103 +8,122 @@
 ///   2. exact vs simulated 2-cobra hitting times;
 ///   3. exact cobra-vs-RW speedup factors (the paper's object, with zero
 ///      statistical noise).
+///
+/// Usage: bench_exact_validation [--trials T] [--graph <spec>] [--out path]
+///        [--smoke]
+///   Case graphs are built through the spec registry. --graph replaces
+///   the case list with that one graph — it must have n <= 8 (the exact
+///   subset chain is exponential in n); --smoke shrinks the simulated
+///   trial count for CI.
 
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "core/cover_time.hpp"
 #include "core/exact_cobra.hpp"
 #include "core/hitting_time.hpp"
-#include "graph/builder.hpp"
-#include "graph/exact_hitting.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
 using namespace cobra;
 
-struct Case {
-  std::string name;
-  graph::Graph g;
-};
+/// The exact cover chain enumerates (active, covered) subset pairs, so
+/// anything past 8 vertices is out of reach by design.
+constexpr std::uint32_t kMaxExactVertices = 8;
 
-std::vector<Case> tiny_cases() {
+std::vector<bench::SuiteCase> tiny_cases() {
   return {
-      {"cycle n=7", graph::make_cycle(7)},
-      {"path n=7", graph::make_path(7)},
-      {"star n=8", graph::make_star(8)},
-      {"complete n=7", graph::make_complete(7)},
-      {"grid 2x4", [] {
-         // 2 x 4 grid via generic generator: dimensions (2, 4).
-         graph::GraphBuilder b(8);
-         for (graph::Vertex r = 0; r < 2; ++r) {
-           for (graph::Vertex c = 0; c < 4; ++c) {
-             const graph::Vertex v = r * 4 + c;
-             if (c + 1 < 4) b.add_edge(v, v + 1);
-             if (r + 1 < 2) b.add_edge(v, v + 4);
-           }
-         }
-         return b.build();
-       }()},
-      {"binary tree 3 lvls", graph::make_kary_tree(2, 3)},
+      {"cycle n=7", "ring:n=7"},
+      {"path n=7", "path:n=7"},
+      {"star n=8", "star:n=8"},
+      {"complete n=7", "complete:n=7"},
+      {"grid 2x2x2", "grid:side=2,dims=3"},
+      {"binary tree 3 lvls", "tree:levels=3,arity=2"},
   };
 }
 
-void cover_table() {
-  std::cout << "1) expected 2-cobra cover time: exact vs Monte Carlo (5000 "
-               "trials)\n";
+void cover_table(bench::Harness& h, const std::vector<bench::BuiltCase>& cases,
+                 std::uint32_t trials) {
+  std::cout << "1) expected 2-cobra cover time: exact vs Monte Carlo ("
+            << trials << " trials)\n";
   io::Table table({"graph", "exact", "simulated", "z-score"});
   table.set_align(0, io::Align::Left);
-  for (const auto& [name, g] : tiny_cases()) {
+  for (const auto& c : cases) {
+    const graph::Graph& g = c.graph;
     const core::ExactCobra exact(g, 2);
     const double truth = exact.expected_cover_time(0);
     const auto sim = bench::measure(
-        5000, 0xA100 ^ std::hash<std::string>{}(name), [&](core::Engine& gen) {
+        trials, 0xA100 ^ std::hash<std::string>{}(c.spec),
+        [&](core::Engine& gen) {
           return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
         });
     const double z = sim.sem > 0 ? (sim.mean - truth) / sim.sem : 0.0;
-    table.add_row({name, io::Table::fmt(truth, 4), bench::mean_ci(sim, 3),
+    table.add_row({c.name, io::Table::fmt(truth, 4), bench::mean_ci(sim, 3),
                    io::Table::fmt(z, 2)});
+    h.json()
+        .record("cover/" + c.name)
+        .field("spec", c.spec)
+        .field("exact_cover", truth)
+        .field("sim_cover_mean", sim.mean)
+        .field("sim_cover_sem", sim.sem)
+        .field("z_score", z);
   }
   std::cout << table
             << "reading: every |z| < 3 — the simulator is unbiased against\n"
                "the exact subset-chain expectation.\n\n";
 }
 
-void hitting_table() {
+void hitting_table(bench::Harness& h,
+                   const std::vector<bench::BuiltCase>& cases,
+                   std::uint32_t trials) {
   std::cout << "2) expected 2-cobra hitting time: exact vs Monte Carlo\n";
   io::Table table({"graph", "pair", "exact", "simulated", "z-score"});
   table.set_align(0, io::Align::Left);
-  for (const auto& [name, g] : tiny_cases()) {
+  for (const auto& c : cases) {
+    const graph::Graph& g = c.graph;
     const core::ExactCobra exact(g, 2);
     const graph::Vertex target = g.num_vertices() - 1;
     const double truth = exact.expected_hitting_time(0, target);
     const auto sim = bench::measure(
-        5000, 0xA200 ^ std::hash<std::string>{}(name), [&](core::Engine& gen) {
+        trials, 0xA200 ^ std::hash<std::string>{}(c.spec),
+        [&](core::Engine& gen) {
           return static_cast<double>(
               core::cobra_hit(g, 0, target, 2, gen).steps);
         });
     const double z = sim.sem > 0 ? (sim.mean - truth) / sim.sem : 0.0;
-    table.add_row({name,
-                   "0 -> " + std::to_string(target),
+    table.add_row({c.name, "0 -> " + std::to_string(target),
                    io::Table::fmt(truth, 4), bench::mean_ci(sim, 3),
                    io::Table::fmt(z, 2)});
+    h.json()
+        .record("hitting/" + c.name)
+        .field("spec", c.spec)
+        .field("target", static_cast<double>(target))
+        .field("exact_hit", truth)
+        .field("sim_hit_mean", sim.mean)
+        .field("z_score", z);
   }
   std::cout << table << "\n";
 }
 
-void speedup_table() {
+void speedup_table(bench::Harness& h,
+                   const std::vector<bench::BuiltCase>& cases) {
   std::cout << "3) exact speedup of branching (zero statistical noise)\n";
   io::Table table({"graph", "RW cover (k=1)", "cobra cover (k=2)", "speedup"});
   table.set_align(0, io::Align::Left);
-  for (const auto& [name, g] : tiny_cases()) {
-    const core::ExactCobra rw(g, 1);
-    const core::ExactCobra cobra(g, 2);
+  for (const auto& c : cases) {
+    const core::ExactCobra rw(c.graph, 1);
+    const core::ExactCobra cobra(c.graph, 2);
     const double t1 = rw.expected_cover_time(0);
     const double t2 = cobra.expected_cover_time(0);
-    table.add_row({name, io::Table::fmt(t1, 3), io::Table::fmt(t2, 3),
+    table.add_row({c.name, io::Table::fmt(t1, 3), io::Table::fmt(t2, 3),
                    io::Table::fmt(t1 / t2, 2) + "x"});
+    h.json()
+        .record("speedup/" + c.name)
+        .field("spec", c.spec)
+        .field("exact_rw_cover", t1)
+        .field("exact_cobra_cover", t2)
+        .field("speedup", t1 / t2);
   }
   std::cout << table
             << "reading: branching helps everywhere, even at n = 7-8, and\n"
@@ -114,12 +133,27 @@ void speedup_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("exact_validation",
+                   bench::parse_bench_args(argc, argv, {"trials"}));
+  const std::uint32_t trials = h.trials(5000, 500);
+  h.json().context("trials", static_cast<double>(trials));
+
   bench::print_header(
       "A10  (calibration)",
       "exact subset-chain expectations vs the Monte-Carlo estimators");
-  cover_table();
-  hitting_table();
-  speedup_table();
-  return 0;
+
+  const auto cases = h.suite(tiny_cases());
+  for (const auto& c : cases) {
+    if (c.graph.num_vertices() > kMaxExactVertices) {
+      std::cerr << "bench_exact_validation: graph '" << c.spec << "' has "
+                << c.graph.num_vertices() << " vertices; the exact subset "
+                << "chain needs n <= " << kMaxExactVertices << "\n";
+      return 1;
+    }
+  }
+  cover_table(h, cases, trials);
+  hitting_table(h, cases, trials);
+  speedup_table(h, cases);
+  return h.finish();
 }

@@ -6,7 +6,8 @@
 /// expecting c <= 2. Also reports the measured spectral gap to certify each
 /// instance really is an expander.
 ///
-/// Usage: bench_expander_cover [--trials T] [--graph <spec>] [--smoke]
+/// Usage: bench_expander_cover [--trials T] [--graph <spec>] [--out path]
+///        [--smoke]
 ///   Sweep graphs are built through the spec registry
 ///   ("rreg:n=<N>,d=<D>,seed=<S>"). --graph replaces the sweep with one
 ///   registry-built graph (one table row, no fit); --smoke shrinks the
@@ -14,7 +15,7 @@
 
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "core/cover_time.hpp"
 #include "graph/spectral.hpp"
@@ -23,10 +24,12 @@ namespace {
 
 using namespace cobra;
 
-/// One sweep row: spectral gap + 2-cobra cover statistics for `g`.
-void add_row(io::Table& table, const graph::Graph& g, std::uint32_t trials,
+/// One sweep row: spectral gap + 2-cobra cover statistics for `c`.
+void add_row(bench::Harness& h, io::Table& table, const std::string& family,
+             const bench::BuiltCase& c, std::uint32_t trials,
              std::uint64_t seed, std::vector<double>* ns,
              std::vector<double>* covers) {
+  const graph::Graph& g = c.graph;
   const double gap = graph::lazy_walk_spectrum(g).spectral_gap;
   const auto cover = bench::measure(trials, seed, [&](core::Engine& gen) {
     return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
@@ -39,50 +42,71 @@ void add_row(io::Table& table, const graph::Graph& g, std::uint32_t trials,
     ns->push_back(g.num_vertices());
     covers->push_back(cover.mean);
   }
+  h.json()
+      .record(family + "/" + c.name)
+      .field("spec", c.spec)
+      .field("n", static_cast<double>(g.num_vertices()))
+      .field("spectral_gap", gap)
+      .field("cover_mean", cover.mean)
+      .field("cover_ci95", cover.ci95_half)
+      .field("cover_over_ln2_n", cover.mean / (ln_n * ln_n));
 }
 
-void sweep_degree(std::uint32_t degree, const std::vector<std::uint32_t>& sizes,
+void sweep_degree(bench::Harness& h, std::uint32_t degree,
+                  const std::vector<std::uint32_t>& sizes,
                   std::uint32_t trials) {
+  std::vector<bench::SuiteCase> cases;
+  for (const std::uint32_t n : sizes) {
+    cases.push_back({"n=" + std::to_string(n),
+                     "rreg:n=" + std::to_string(n) + ",d=" +
+                         std::to_string(degree) + ",seed=" +
+                         std::to_string(0xE30 + degree + n)});
+  }
   io::Table table({"n", "spectral gap", "cover", "cover / ln^2 n"});
   std::vector<double> ns, covers;
-  for (const std::uint32_t n : sizes) {
-    const graph::Graph g = gen::build_graph(
-        "rreg:n=" + std::to_string(n) + ",d=" + std::to_string(degree) +
-        ",seed=" + std::to_string(0xE30 + degree + n));
-    add_row(table, g, trials, 0xE31000 + n + degree, &ns, &covers);
+  const std::string family = "d" + std::to_string(degree);
+  for (const auto& c : h.suite(cases)) {
+    add_row(h, table, family, c, trials, 0xE31000 + c.graph.num_vertices(),
+            &ns, &covers);
   }
   std::cout << "random " << degree << "-regular expanders\n" << table;
-  bench::print_fit("  cover vs ln n", stats::fit_polylog(ns, covers),
-                   "Corollary 9 predicts exponent <= 2");
+  const auto fit = stats::fit_polylog(ns, covers);
+  bench::print_fit("  cover vs ln n", fit, "Corollary 9 predicts exponent <= 2");
+  h.json()
+      .record(family + "/fit")
+      .field("degree", static_cast<double>(degree))
+      .field("polylog_exponent", fit.exponent)
+      .field("polylog_exponent_stderr", fit.exponent_stderr);
   std::cout << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const io::Args args = bench::parse_bench_args(argc, argv, {"trials"});
-  const bool smoke = args.get_bool("smoke", false);
-  const auto trials =
-      static_cast<std::uint32_t>(args.get_uint("trials", smoke ? 10 : 50));
+  bench::Harness h("expander_cover",
+                   bench::parse_bench_args(argc, argv, {"trials"}));
+  const std::uint32_t trials = h.trials(50, 10);
+  h.json().context("trials", static_cast<double>(trials));
 
   bench::print_header(
       "E3  (Corollary 9)",
       "2-cobra cover on bounded-degree expanders is O(log^2 n)");
 
-  if (args.has("graph")) {
-    const graph::Graph g = bench::bench_graph(args, "");
+  if (h.has_graph()) {
     io::Table table({"n", "spectral gap", "cover", "cover / ln^2 n"});
-    add_row(table, g, trials, 0xE31000, nullptr, nullptr);
-    std::cout << "graph: " << io::graph_spec_from_args(args, "") << "\n"
-              << table << "\n";
-    return 0;
+    for (const auto& c : h.suite({})) {
+      add_row(h, table, "graph", c, trials, 0xE31000, nullptr, nullptr);
+      std::cout << "graph: " << c.spec << "\n" << table << "\n";
+    }
+    return h.finish();
   }
 
   const std::vector<std::uint32_t> sizes =
-      smoke ? std::vector<std::uint32_t>{128, 256, 512, 1024}
-            : std::vector<std::uint32_t>{128, 256, 512, 1024, 2048, 4096, 8192};
-  sweep_degree(6, sizes, trials);
-  sweep_degree(10, sizes, trials);
+      h.smoke() ? std::vector<std::uint32_t>{128, 256, 512, 1024}
+                : std::vector<std::uint32_t>{128, 256, 512, 1024, 2048, 4096,
+                                             8192};
+  sweep_degree(h, 6, sizes, trials);
+  sweep_degree(h, 10, sizes, trials);
 
   std::cout
       << "reading: cover/ln^2 n is flat-to-falling and the polylog exponent\n"
@@ -90,5 +114,5 @@ int main(int argc, char** argv) {
          "Ramanujan-grade expansion; Theorem 8 extends it to any d-regular\n"
          "graph, which this sweep instantiates with ordinary random regular\n"
          "graphs (gap ~ 0.1-0.3, far below Ramanujan).\n";
-  return 0;
+  return h.finish();
 }

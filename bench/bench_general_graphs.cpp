@@ -7,12 +7,13 @@
 /// cobra walk must stay clearly below 11/4 = 2.75 (in practice far below:
 /// the bound is not tight, as the paper suspects).
 ///
-/// Usage: bench_general_graphs [--trials T] [--graph <spec>] [--smoke]
+/// Usage: bench_general_graphs [--trials T] [--graph <spec>] [--out path]
+///        [--smoke]
 ///   Sweep graphs are built through the spec registry ("lollipop:n=<N>",
 ///   "barbell:n=<N>", "dclique:n=<N>"). --graph replaces the sweeps with
 ///   one registry-built graph; --smoke shrinks sizes/trials for CI.
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "core/cover_time.hpp"
 
@@ -20,19 +21,24 @@ namespace {
 
 using namespace cobra;
 
-void sweep(const std::string& label, const std::string& family,
-           const std::vector<std::uint32_t>& sizes, std::uint32_t trials,
-           bool include_rw, std::uint64_t seed) {
+void sweep(bench::Harness& h, const std::string& label,
+           const std::string& family, const std::vector<std::uint32_t>& sizes,
+           std::uint32_t trials, bool include_rw, std::uint64_t seed) {
+  std::vector<bench::SuiteCase> cases;
+  for (const std::uint32_t n : sizes) {
+    cases.push_back({"n=" + std::to_string(n),
+                     family + ":n=" + std::to_string(n)});
+  }
   io::Table table({"n", "cobra cover", "cobra/n", "rw cover", "rw/n^3"});
   std::vector<double> ns, cobra_means, rw_means;
-  for (const std::uint32_t n : sizes) {
-    const graph::Graph g =
-        gen::build_graph(family + ":n=" + std::to_string(n));
+  for (const auto& c : h.suite(cases)) {
+    const graph::Graph& g = c.graph;
+    const std::uint32_t n = g.num_vertices();
     const auto cobra =
         bench::measure(trials, seed + n, [&](core::Engine& gen) {
           return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
         });
-    ns.push_back(g.num_vertices());
+    ns.push_back(n);
     cobra_means.push_back(cobra.mean);
     stats::Summary rw;
     if (include_rw) {
@@ -41,19 +47,34 @@ void sweep(const std::string& label, const std::string& family,
       });
       rw_means.push_back(rw.mean);
     }
-    const double nd = g.num_vertices();
-    table.add_row({io::Table::fmt_int(g.num_vertices()), bench::mean_ci(cobra),
+    const double nd = n;
+    table.add_row({io::Table::fmt_int(n), bench::mean_ci(cobra),
                    io::Table::fmt(cobra.mean / nd, 2),
                    include_rw ? bench::mean_ci(rw) : "-",
                    include_rw ? io::Table::fmt_sci(rw.mean / (nd * nd * nd), 2)
                               : "-"});
+    auto& rec = h.json()
+                    .record(family + "/" + c.name)
+                    .field("spec", c.spec)
+                    .field("family", family)
+                    .field("n", nd)
+                    .field("cobra_cover_mean", cobra.mean)
+                    .field("cobra_cover_ci95", cobra.ci95_half);
+    if (include_rw) rec.field("rw_cover_mean", rw.mean);
   }
   std::cout << label << "\n" << table;
-  bench::print_fit("  cobra", stats::fit_power_law(ns, cobra_means),
+  const auto cobra_fit = stats::fit_power_law(ns, cobra_means);
+  bench::print_fit("  cobra", cobra_fit,
                    "Theorem 20 predicts exponent <= 2.75");
+  auto& fit_rec = h.json()
+                      .record(family + "/fit")
+                      .field("family", family)
+                      .field("cobra_exponent", cobra_fit.exponent)
+                      .field("cobra_exponent_stderr", cobra_fit.exponent_stderr);
   if (include_rw) {
-    bench::print_fit("  random walk", stats::fit_power_law(ns, rw_means),
-                     "worst case ~3");
+    const auto rw_fit = stats::fit_power_law(ns, rw_means);
+    bench::print_fit("  random walk", rw_fit, "worst case ~3");
+    fit_rec.field("rw_exponent", rw_fit.exponent);
   }
   std::cout << "\n";
 }
@@ -61,41 +82,49 @@ void sweep(const std::string& label, const std::string& family,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const io::Args args = bench::parse_bench_args(argc, argv, {"trials"});
-  const bool smoke = args.get_bool("smoke", false);
-  const auto trials =
-      static_cast<std::uint32_t>(args.get_uint("trials", smoke ? 8 : 30));
+  bench::Harness h("general_graphs",
+                   bench::parse_bench_args(argc, argv, {"trials"}));
+  const std::uint32_t trials = h.trials(30, 8);
+  h.json().context("trials", static_cast<double>(trials));
 
   bench::print_header(
       "E5  (Theorem 20)",
       "general graphs: 2-cobra cover is O(n^{11/4} log n) vs RW Theta(n^3)");
 
-  if (args.has("graph")) {
-    const graph::Graph g = bench::bench_graph(args, "");
-    const auto cobra = bench::measure(trials, 0xE51000, [&](core::Engine& gen) {
-      return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
-    });
-    const auto rw = bench::measure(trials, 0xE52000, [&](core::Engine& gen) {
-      return static_cast<double>(core::random_walk_cover(g, 0, gen).steps);
-    });
-    io::Table table({"n", "cobra cover", "rw cover"});
-    table.add_row({io::Table::fmt_int(g.num_vertices()), bench::mean_ci(cobra),
-                   bench::mean_ci(rw)});
-    std::cout << "graph: " << io::graph_spec_from_args(args, "") << "\n"
-              << table << "\n";
-    return 0;
+  if (h.has_graph()) {
+    for (const auto& c : h.suite({})) {
+      const auto cobra = bench::measure(trials, 0xE51000, [&](core::Engine& gen) {
+        return static_cast<double>(core::cobra_cover(c.graph, 0, 2, gen).steps);
+      });
+      const auto rw = bench::measure(trials, 0xE52000, [&](core::Engine& gen) {
+        return static_cast<double>(
+            core::random_walk_cover(c.graph, 0, gen).steps);
+      });
+      io::Table table({"n", "cobra cover", "rw cover"});
+      table.add_row({io::Table::fmt_int(c.graph.num_vertices()),
+                     bench::mean_ci(cobra), bench::mean_ci(rw)});
+      std::cout << "graph: " << c.spec << "\n" << table << "\n";
+      h.json()
+          .record(c.spec)
+          .field("spec", c.spec)
+          .field("n", static_cast<double>(c.graph.num_vertices()))
+          .field("cobra_cover_mean", cobra.mean)
+          .field("rw_cover_mean", rw.mean);
+    }
+    return h.finish();
   }
 
+  const bool smoke = h.smoke();
   const std::vector<std::uint32_t> sweep_sizes =
       smoke ? std::vector<std::uint32_t>{30, 60}
             : std::vector<std::uint32_t>{30, 60, 90, 120, 180};
-  sweep("lollipop L(n): clique 2n/3 + path n/3 (RW's Theta(n^3) witness)",
+  sweep(h, "lollipop L(n): clique 2n/3 + path n/3 (RW's Theta(n^3) witness)",
         "lollipop", sweep_sizes, trials, /*include_rw=*/true, 0xE51000);
 
-  sweep("barbell: two cliques n/3 + path n/3", "barbell", sweep_sizes, trials,
-        /*include_rw=*/true, 0xE52000);
+  sweep(h, "barbell: two cliques n/3 + path n/3", "barbell", sweep_sizes,
+        trials, /*include_rw=*/true, 0xE52000);
 
-  sweep("double clique (cut vertex)", "dclique",
+  sweep(h, "double clique (cut vertex)", "dclique",
         smoke ? std::vector<std::uint32_t>{40, 80}
               : std::vector<std::uint32_t>{40, 80, 160, 320},
         trials, /*include_rw=*/false, 0xE53000);
@@ -106,5 +135,5 @@ int main(int argc, char** argv) {
          "well under 11/4, confirming the first sub-n^3 worst-case bound for\n"
          "branching walks (and suggesting, as s6 conjectures, that the truth\n"
          "is closer to n log n).\n";
-  return 0;
+  return h.finish();
 }

@@ -12,12 +12,17 @@
 /// The interesting finding: at equal mean, variance in the branching has
 /// little effect on expander/grid cover, but failure injection bites
 /// hardest on low-degree graphs where the active set is small.
+///
+/// Usage: bench_generalized_branching [--trials T] [--graph <spec>]
+///        [--out path] [--smoke]
+///   Case graphs are built through the spec registry. --graph replaces
+///   the case list (the schedule sweep still runs); --smoke shrinks graph
+///   sizes and the trial count for CI.
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "core/cover_time.hpp"
 #include "core/generalized_cobra.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
@@ -40,8 +45,9 @@ double cover_with_schedule(const graph::Graph& g,
                             : static_cast<double>(budget);
 }
 
-void sweep(const std::string& name, const graph::Graph& g,
-           std::uint32_t trials, std::uint64_t seed) {
+void sweep(bench::Harness& h, const bench::BuiltCase& c, std::uint32_t trials,
+           std::uint64_t seed) {
+  const graph::Graph& g = c.graph;
   struct Row {
     std::string label;
     core::BranchingSchedule schedule;
@@ -73,24 +79,43 @@ void sweep(const std::string& name, const graph::Graph& g,
     }
     table.add_row({label, bench::mean_ci(s), io::Table::fmt(s.median, 1),
                    io::Table::fmt_int(budget_hits)});
+    h.json()
+        .record(c.name + "/" + label)
+        .field("spec", c.spec)
+        .field("schedule", label)
+        .field("n", static_cast<double>(g.num_vertices()))
+        .field("cover_mean", s.mean)
+        .field("cover_median", s.median)
+        .field("budget_hits", static_cast<double>(budget_hits));
   }
-  std::cout << name << "  (n = " << g.num_vertices() << ", budget " << budget
+  std::cout << c.name << "  (n = " << g.num_vertices() << ", budget " << budget
             << ")\n"
             << table << "\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("generalized_branching",
+                   bench::parse_bench_args(argc, argv, {"trials"}));
+  const std::uint32_t trials = h.trials(40, 6);
+  h.json().context("trials", static_cast<double>(trials));
+
   bench::print_header(
       "A7  (extension: §1's open branching variations)",
       "equal-mean branching schedules and failure injection");
 
-  core::Engine graph_gen(0xA7);
-  sweep("grid 16x16", graph::make_grid(2, 16), 40, 0xA7100);
-  sweep("random 4-regular n=256",
-        graph::make_random_regular(graph_gen, 256, 4), 40, 0xA7200);
-  sweep("cycle n=128", graph::make_cycle(128), 40, 0xA7300);
+  const std::vector<bench::SuiteCase> cases = {
+      {"grid", "grid:side=16,dims=2", "grid:side=8,dims=2"},
+      {"random 4-regular", "rreg:n=256,d=4,seed=167", "rreg:n=64,d=4,seed=167"},
+      {"cycle", "ring:n=128", "ring:n=48"},
+  };
+
+  std::uint64_t seed = 0xA7100;
+  for (const auto& c : h.suite(cases)) {
+    sweep(h, c, trials, seed);
+    seed += 0x100;
+  }
 
   std::cout
       << "reading: with the mean fixed at 2, branching variance barely\n"
@@ -98,5 +123,5 @@ int main() {
          "mild failure injection costs little on dense graphs but the\n"
          "walk can go extinct on sparse ones (budget hits > 0), which is\n"
          "why the paper's k >= 2 floor matters for robustness claims.\n";
-  return 0;
+  return h.finish();
 }

@@ -9,42 +9,43 @@
 /// M(x,y) >= (1-1/d(x))/d(x); and the Theorem 15 chain: on delta-regular
 /// graphs the bound evaluates to <= 1 + n^{1-1/delta}, which drives the
 /// O(n^{2-1/delta}) hitting time.
+///
+/// Usage: bench_metropolis_return [--returns R] [--graph <spec>]
+///        [--out path] [--smoke]
+///   Case graphs are built through the spec registry. --graph replaces
+///   the case list with one return-time row; --smoke shrinks the measured
+///   return count and the scaling sweep for CI.
 
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "core/metropolis_walk.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
 using namespace cobra;
 
-void return_time_table() {
+void return_time_table(bench::Harness& h,
+                       const std::vector<bench::SuiteCase>& cases,
+                       std::uint32_t returns) {
   std::cout << "1) Corollary 17 return-time bound vs measurement\n";
   io::Table table({"graph", "bound", "measured return", "margin >= 0?"});
   table.set_align(0, io::Align::Left);
-  core::Engine graph_gen(0xA61);
-  struct Case {
-    std::string name;
-    graph::Graph g;
-  };
-  const std::vector<Case> cases = {
-      {"cycle n=32", graph::make_cycle(32)},
-      {"cycle n=128", graph::make_cycle(128)},
-      {"torus 8x8", graph::make_grid(2, 8, true)},
-      {"hypercube Q_6", graph::make_hypercube(6)},
-      {"complete n=32", graph::make_complete(32)},
-      {"random 4-regular n=64", graph::make_random_regular(graph_gen, 64, 4)},
-  };
-  for (const auto& [name, g] : cases) {
-    core::MetropolisWalk walk(g, 0);
-    core::Engine gen(0xA6100 ^ std::hash<std::string>{}(name));
-    const double measured = walk.measure_return_time(gen, 3000, 1u << 24);
-    table.add_row({name, io::Table::fmt(walk.return_time_bound(), 3),
-                   io::Table::fmt(measured, 3),
-                   walk.min_transition_margin() >= -1e-9 ? "yes" : "NO"});
+  for (const auto& c : h.suite(cases)) {
+    core::MetropolisWalk walk(c.graph, 0);
+    core::Engine gen(0xA6100 ^ std::hash<std::string>{}(c.spec));
+    const double measured = walk.measure_return_time(gen, returns, 1u << 24);
+    const bool margin_ok = walk.min_transition_margin() >= -1e-9;
+    table.add_row({c.name, io::Table::fmt(walk.return_time_bound(), 3),
+                   io::Table::fmt(measured, 3), margin_ok ? "yes" : "NO"});
+    h.json()
+        .record("return/" + c.name)
+        .field("spec", c.spec)
+        .field("n", static_cast<double>(c.graph.num_vertices()))
+        .field("cor17_bound", walk.return_time_bound())
+        .field("measured_return", measured)
+        .field("min_transition_margin", walk.min_transition_margin());
   }
   std::cout << table
             << "reading: measured return time sits at the bound (it is an\n"
@@ -54,25 +55,54 @@ void return_time_table() {
                "combines into Theorem 20.\n\n";
 }
 
-void theorem15_scaling_table() {
+void theorem15_scaling_table(bench::Harness& h, bool smoke) {
   std::cout << "2) the Theorem 15 chain: bound vs 1 + n^{1-1/delta} on "
                "delta-regular graphs\n";
   io::Table table({"graph", "delta", "n", "Cor 17 bound", "1 + n^(1-1/delta)"});
   table.set_align(0, io::Align::Left);
-  for (const std::uint32_t n : {32u, 64u, 128u, 256u, 512u}) {
-    const graph::Graph g = graph::make_cycle(n);
-    const core::MetropolisWalk walk(g, 0);
-    table.add_row({"cycle", "2", io::Table::fmt_int(n),
+  auto add_scaling_row = [&](const std::string& family, std::uint32_t delta,
+                             const bench::BuiltCase& c, double envelope) {
+    const core::MetropolisWalk walk(c.graph, 0);
+    table.add_row({family, io::Table::fmt_int(delta),
+                   io::Table::fmt_int(c.graph.num_vertices()),
                    io::Table::fmt(walk.return_time_bound(), 2),
-                   io::Table::fmt(1.0 + std::sqrt(static_cast<double>(n)), 2)});
+                   io::Table::fmt(envelope, 2)});
+    h.json()
+        .record("thm15/" + c.name)
+        .field("spec", c.spec)
+        .field("delta", static_cast<double>(delta))
+        .field("n", static_cast<double>(c.graph.num_vertices()))
+        .field("cor17_bound", walk.return_time_bound())
+        .field("envelope", envelope);
+  };
+
+  {
+    std::vector<bench::SuiteCase> cases;
+    for (const std::uint32_t n :
+         smoke ? std::vector<std::uint32_t>{32, 64}
+               : std::vector<std::uint32_t>{32, 64, 128, 256, 512}) {
+      cases.push_back({"cycle n=" + std::to_string(n),
+                       "ring:n=" + std::to_string(n)});
+    }
+    for (const auto& c : h.suite(cases)) {
+      add_scaling_row("cycle", 2, c,
+                      1.0 + std::sqrt(static_cast<double>(c.graph.num_vertices())));
+    }
   }
-  core::Engine gen(0xA62);
-  for (const std::uint32_t n : {32u, 64u, 128u, 256u}) {
-    const graph::Graph g = graph::make_random_regular(gen, n, 4);
-    const core::MetropolisWalk walk(g, 0);
-    table.add_row({"random 4-regular", "4", io::Table::fmt_int(n),
-                   io::Table::fmt(walk.return_time_bound(), 2),
-                   io::Table::fmt(1.0 + std::pow(n, 0.75), 2)});
+  {
+    std::vector<bench::SuiteCase> cases;
+    for (const std::uint32_t n :
+         smoke ? std::vector<std::uint32_t>{32, 64}
+               : std::vector<std::uint32_t>{32, 64, 128, 256}) {
+      cases.push_back({"rreg n=" + std::to_string(n),
+                       "rreg:n=" + std::to_string(n) + ",d=4,seed=" +
+                           std::to_string(0xA62 + n)});
+    }
+    for (const auto& c : h.suite(cases)) {
+      add_scaling_row(
+          "random 4-regular", 4, c,
+          1.0 + std::pow(static_cast<double>(c.graph.num_vertices()), 0.75));
+    }
   }
   std::cout << table
             << "reading: the cycle's bound is Theta(1) - its BFS balls grow\n"
@@ -85,11 +115,26 @@ void theorem15_scaling_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("metropolis_return",
+                   bench::parse_bench_args(argc, argv, {"returns"}));
+  const auto returns = static_cast<std::uint32_t>(
+      bench::uint_flag(h.args(), "returns", h.smoke() ? 300 : 3000));
+  h.json().context("returns", static_cast<double>(returns));
+
   bench::print_header("A6  (Lemma 16 / Corollary 17)",
                       "Metropolis return times: the engine of Theorems 15 "
                       "and 20");
-  return_time_table();
-  theorem15_scaling_table();
-  return 0;
+
+  const std::vector<bench::SuiteCase> cases = {
+      {"cycle n=32", "ring:n=32"},
+      {"cycle n=128", "ring:n=128", "ring:n=64"},
+      {"torus 8x8", "torus:side=8,dims=2"},
+      {"hypercube Q_6", "hypercube:dims=6"},
+      {"complete n=32", "complete:n=32"},
+      {"random 4-regular n=64", "rreg:n=64,d=4,seed=161"},
+  };
+  return_time_table(h, cases, returns);
+  if (!h.has_graph()) theorem15_scaling_table(h, h.smoke());
+  return h.finish();
 }

@@ -12,13 +12,19 @@
 ///      per family, with the paper's lazy pairing;
 ///   3. TV-mixing of the matrix walk: distance to stationarity vs s,
 ///      showing the O(Phi^-2 log n) decay Theorem 12 (Chung) provides.
+///
+/// Usage: bench_pair_collision [--trials T] [--graph <spec>] [--out path]
+///        [--smoke]
+///   Case graphs are built through the spec registry. --graph replaces
+///   the simulated-collision case list with that one graph (the exact
+///   D(G x G) tables keep their tiny built-in cases: they materialize n^2
+///   states); --smoke shrinks the trial count for CI.
 
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "core/pair_walk.hpp"
-#include "graph/generators.hpp"
 #include "graph/spectral.hpp"
 #include "graph/tensor_product.hpp"
 
@@ -26,22 +32,20 @@ namespace {
 
 using namespace cobra;
 
-void stationary_identity_table() {
+void stationary_identity_table(bench::Harness& h) {
   std::cout << "1) D(G x G) stationary vs closed form (Eulerian identity)\n";
   io::Table table({"graph", "n^2 states", "max |pi - closed|", "balanced"});
   table.set_align(0, io::Align::Left);
-  core::Engine gen(0xA41);
-  struct Case {
-    std::string name;
-    graph::Graph g;
+  // Tiny cases only: the pair digraph materializes n^2 states, so this
+  // exact table never follows --graph.
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"cycle n=8", "ring:n=8"},
+      {"complete n=6", "complete:n=6"},
+      {"hypercube Q_3", "hypercube:dims=3"},
+      {"random 4-regular n=12", "rreg:n=12,d=4,seed=164"},
   };
-  const std::vector<Case> cases = {
-      {"cycle n=8", graph::make_cycle(8)},
-      {"complete n=6", graph::make_complete(6)},
-      {"hypercube Q_3", graph::make_hypercube(3)},
-      {"random 4-regular n=12", graph::make_random_regular(gen, 12, 4)},
-  };
-  for (const auto& [name, g] : cases) {
+  for (const auto& [name, spec] : cases) {
+    const graph::Graph g = gen::build_graph(spec);
     const graph::Digraph d = graph::walt_pair_digraph(g);
     const auto closed = graph::walt_pair_stationary(g.num_vertices());
     double total = 0.0;
@@ -59,28 +63,31 @@ void stationary_identity_table() {
     table.add_row({name, io::Table::fmt_int(d.num_vertices()),
                    io::Table::fmt_sci(max_err, 2),
                    d.is_weight_balanced() ? "yes" : "NO"});
+    h.json()
+        .record("stationary/" + name)
+        .field("spec", spec)
+        .field("pair_states", static_cast<double>(d.num_vertices()))
+        .field("max_stationary_error", max_err)
+        .field("weight_balanced", d.is_weight_balanced() ? 1.0 : 0.0);
   }
   std::cout << table << "\n";
 }
 
-void collision_table() {
+void collision_table(bench::Harness& h, std::uint32_t trials) {
   std::cout << "2) simulated Pr[i, j co-located at time s] vs the Lemma 11 "
                "bound\n";
   io::Table table({"graph", "n", "s", "Pr[collision]", "n * pi(S1) = 2/(n+1)",
                    "Lemma 11 bound * n"});
   table.set_align(0, io::Align::Left);
-  core::Engine graph_gen(0xA42);
-  struct Case {
-    std::string name;
-    graph::Graph g;
+  const std::vector<bench::SuiteCase> cases = {
+      {"complete n=16", "complete:n=16"},
+      {"hypercube Q_6", "hypercube:dims=6", "hypercube:dims=4"},
+      {"random 6-regular n=64", "rreg:n=64,d=6,seed=165",
+       "rreg:n=32,d=6,seed=165"},
+      {"torus 8x8", "torus:side=8,dims=2"},
   };
-  const std::vector<Case> cases = {
-      {"complete n=16", graph::make_complete(16)},
-      {"hypercube Q_6", graph::make_hypercube(6)},
-      {"random 6-regular n=64", graph::make_random_regular(graph_gen, 64, 6)},
-      {"torus 8x8", graph::make_grid(2, 8, true)},
-  };
-  for (const auto& [name, g] : cases) {
+  for (const auto& c : h.suite(cases)) {
+    const graph::Graph& g = c.graph;
     const auto n = g.num_vertices();
     // Mixing horizon: generous multiple of Phi^-2 log^2 n.
     const auto est = graph::estimate_conductance(g);
@@ -90,7 +97,7 @@ void collision_table() {
     // Probability that the pair is co-located (summed over all v — the
     // per-v bound times n) at time s, over trials.
     const auto prob = bench::measure(
-        4000, 0xA4200 ^ std::hash<std::string>{}(name),
+        trials, 0xA4200 ^ std::hash<std::string>{}(c.spec),
         [&, s](core::Engine& gen) {
           core::PairWalk walk(g, 0, 0, /*lazy=*/true);
           for (std::uint64_t t = 0; t < s; ++t) walk.step(gen);
@@ -100,11 +107,19 @@ void collision_table() {
     const double bound_sum =
         n * (2.0 / (static_cast<double>(n) * n + n) +
              1.0 / std::pow(static_cast<double>(n), 4.0));
-    table.add_row({name, io::Table::fmt_int(n),
+    table.add_row({c.name, io::Table::fmt_int(n),
                    io::Table::fmt_int(static_cast<long long>(s)),
                    io::Table::fmt(prob.mean, 4),
                    io::Table::fmt(stationary_sum, 4),
                    io::Table::fmt(bound_sum, 4)});
+    h.json()
+        .record("collision/" + c.name)
+        .field("spec", c.spec)
+        .field("n", static_cast<double>(n))
+        .field("s", static_cast<double>(s))
+        .field("collision_prob", prob.mean)
+        .field("stationary_sum", stationary_sum)
+        .field("lemma11_bound_times_n", bound_sum);
   }
   std::cout << table
             << "reading: the collision probability lands on the stationary\n"
@@ -112,9 +127,9 @@ void collision_table() {
                "collision event sums it over all n vertices).\n\n";
 }
 
-void mixing_table() {
+void mixing_table(bench::Harness& h) {
   std::cout << "3) TV mixing of the D(G x G) matrix walk\n";
-  const graph::Graph g = graph::make_complete(8);
+  const graph::Graph g = gen::build_graph("complete:n=8");
   const graph::Digraph d = graph::walt_pair_digraph(g);
   const std::uint32_t n = g.num_vertices();
   const auto closed = graph::walt_pair_stationary(n);
@@ -130,8 +145,12 @@ void mixing_table() {
   io::Table table({"s", "TV(P^s(x0, .), pi)"});
   for (std::uint32_t s = 0; s <= 32; ++s) {
     if (s % 4 == 0) {
-      table.add_row({io::Table::fmt_int(s),
-                     io::Table::fmt_sci(graph::total_variation(current, pi), 3)});
+      const double tv = graph::total_variation(current, pi);
+      table.add_row({io::Table::fmt_int(s), io::Table::fmt_sci(tv, 3)});
+      h.json()
+          .record("mixing/s" + std::to_string(s))
+          .field("s", static_cast<double>(s))
+          .field("tv_distance", tv);
     }
     d.push_distribution(current, pushed);
     for (std::size_t i = 0; i < current.size(); ++i) {
@@ -147,11 +166,16 @@ void mixing_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("pair_collision",
+                   bench::parse_bench_args(argc, argv, {"trials"}));
+  const std::uint32_t trials = h.trials(4000, 400);
+  h.json().context("trials", static_cast<double>(trials));
+
   bench::print_header("A4  (Lemma 11 / §4 machinery)",
                       "two-pebble collision probability and D(G x G) mixing");
-  stationary_identity_table();
-  collision_table();
-  mixing_table();
-  return 0;
+  if (!h.has_graph()) stationary_identity_table(h);
+  collision_table(h, trials);
+  if (!h.has_graph()) mixing_table(h);
+  return h.finish();
 }

@@ -6,25 +6,40 @@
 /// Tables: (a) per arity, sweep tree depth and report cover/diameter — the
 /// ratio should stay near-constant (up to the conjectured log slack);
 /// (b) star graph cover vs n ln n (coupon collecting the leaves).
+///
+/// Usage: bench_tree_cover [--trials T] [--graph <spec>] [--out path]
+///        [--smoke]
+///   Sweep graphs are built through the spec registry
+///   ("tree:levels=<L>,arity=<K>" / "star:n=<N>"). --graph replaces the
+///   sweeps with one cover row on that graph (no fit); --smoke shrinks
+///   depth lists and trial count for CI.
 
 #include <cmath>
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "core/cover_time.hpp"
 #include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
 using namespace cobra;
 
-void sweep_arity(std::uint32_t arity, const std::vector<std::uint32_t>& levels,
+void sweep_arity(bench::Harness& h, std::uint32_t arity,
+                 const std::vector<std::uint32_t>& levels,
                  std::uint32_t trials) {
+  std::vector<bench::SuiteCase> cases;
+  for (const std::uint32_t depth : levels) {
+    cases.push_back({"levels " + std::to_string(depth),
+                     "tree:levels=" + std::to_string(depth) +
+                         ",arity=" + std::to_string(arity)});
+  }
   io::Table table({"levels", "n", "diameter", "cover", "cover/diam"});
   std::vector<double> diams, covers;
-  for (const std::uint32_t depth : levels) {
-    const graph::Graph g = graph::make_kary_tree(arity, depth);
+  std::size_t i = 0;
+  for (const auto& c : h.suite(cases)) {
+    const std::uint32_t depth = levels[i++];
+    const graph::Graph& g = c.graph;
     const double diameter = 2.0 * (depth - 1);
     const auto cover = bench::measure(
         trials, 0xE9000 + arity * 100 + depth, [&](core::Engine& gen) {
@@ -36,51 +51,131 @@ void sweep_arity(std::uint32_t arity, const std::vector<std::uint32_t>& levels,
                    io::Table::fmt(cover.mean / diameter, 2)});
     diams.push_back(diameter);
     covers.push_back(cover.mean);
+    h.json()
+        .record("arity" + std::to_string(arity) + "/levels" +
+                std::to_string(depth))
+        .field("spec", c.spec)
+        .field("arity", static_cast<double>(arity))
+        .field("levels", static_cast<double>(depth))
+        .field("n", static_cast<double>(g.num_vertices()))
+        .field("cover_mean", cover.mean)
+        .field("cover_ci95", cover.ci95_half)
+        .field("cover_over_diameter", cover.mean / diameter);
   }
   std::cout << arity << "-ary trees\n" << table;
-  bench::print_fit("  cover vs diameter", stats::fit_power_law(diams, covers),
+  const auto fit = stats::fit_power_law(diams, covers);
+  bench::print_fit("  cover vs diameter", fit,
                    "s3 remark: proportional => exponent ~1 for k=2,3");
+  h.json()
+      .record("arity" + std::to_string(arity) + "/fit")
+      .field("arity", static_cast<double>(arity))
+      .field("exponent", fit.exponent)
+      .field("exponent_stderr", fit.exponent_stderr);
   std::cout << "\n";
 }
 
-}  // namespace
-
-int main() {
-  bench::print_header(
-      "E9  (s3 remark, s6)",
-      "k-ary trees: cover ~ diameter (k = 2, 3; conjectured all k); star "
-      "shows Omega(n log n)");
-
-  sweep_arity(2, {4, 6, 8, 10, 12}, 40);
-  sweep_arity(3, {3, 4, 5, 6, 7}, 40);
-  sweep_arity(4, {3, 4, 5, 6}, 40);  // beyond the proved cases: the conjecture
-
+void star_sweep(bench::Harness& h, const std::vector<std::uint32_t>& sizes,
+                std::uint32_t trials) {
+  std::vector<bench::SuiteCase> cases;
+  for (const std::uint32_t n : sizes) {
+    cases.push_back({"star n=" + std::to_string(n),
+                     "star:n=" + std::to_string(n)});
+  }
   std::cout << "star graph: cover vs n ln n (the Omega(n log n) witness)\n";
   io::Table table({"n", "cover", "cover / (n ln n)", "coupon bound n H_n / 2"});
   std::vector<double> ns, covers;
-  for (const std::uint32_t n : {64u, 128u, 256u, 512u, 1024u}) {
-    const graph::Graph g = graph::make_star(n);
-    const auto cover =
-        bench::measure(40, 0xE9900 + n, [&](core::Engine& gen) {
-          return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
-        });
+  for (const auto& c : h.suite(cases)) {
+    const graph::Graph& g = c.graph;
+    const std::uint32_t n = g.num_vertices();
+    const auto cover = bench::measure(trials, 0xE9900 + n,
+                                      [&](core::Engine& gen) {
+                                        return static_cast<double>(
+                                            core::cobra_cover(g, 0, 2, gen).steps);
+                                      });
     const double ln_n = std::log(static_cast<double>(n));
     // Every other round the walk sits at the hub and samples 2 leaves:
     // coupon collector over n-1 leaves with 2 draws per 2 rounds -> the
-    // cover time is ~ n H_n / 2 * (2 rounds / n... ) ~ n ln n / 2 rounds.
+    // cover time is ~ n ln n / 2 rounds.
     table.add_row({io::Table::fmt_int(n), bench::mean_ci(cover),
                    io::Table::fmt(cover.mean / (n * ln_n), 3),
                    io::Table::fmt(n * ln_n / 2.0, 0)});
     ns.push_back(n);
     covers.push_back(cover.mean);
+    h.json()
+        .record("star/n" + std::to_string(n))
+        .field("spec", c.spec)
+        .field("n", static_cast<double>(n))
+        .field("cover_mean", cover.mean)
+        .field("cover_over_n_ln_n", cover.mean / (n * ln_n));
   }
   std::cout << table;
-  bench::print_fit("  star", stats::fit_power_law(ns, covers),
-                   "expected ~1 with log factor (n log n total)");
+  const auto fit = stats::fit_power_law(ns, covers);
+  bench::print_fit("  star", fit, "expected ~1 with log factor (n log n total)");
+  h.json().record("star/fit").field("exponent", fit.exponent);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness h("tree_cover",
+                   bench::parse_bench_args(argc, argv, {"trials"}));
+  const std::uint32_t trials = h.trials(40, 6);
+  h.json().context("trials", static_cast<double>(trials));
+
+  bench::print_header(
+      "E9  (s3 remark, s6)",
+      "k-ary trees: cover ~ diameter (k = 2, 3; conjectured all k); star "
+      "shows Omega(n log n)");
+
+  if (h.has_graph()) {
+    for (const auto& c : h.suite({})) {
+      const graph::Graph& g = c.graph;
+      const auto cover = bench::measure(trials, 0xE9000, [&](core::Engine& gen) {
+        return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+      });
+      // Eccentricity of the start vertex: a diameter lower bound that is
+      // exact on the suite's trees (rooted at the hub/root).
+      const auto dist = graph::bfs_distances(g, 0);
+      double ecc = 0.0;
+      for (const auto d : dist) ecc = std::max(ecc, static_cast<double>(d));
+      io::Table table({"n", "ecc(start)", "cover", "cover/ecc"});
+      table.add_row({io::Table::fmt_int(g.num_vertices()),
+                     io::Table::fmt(ecc, 0), bench::mean_ci(cover),
+                     io::Table::fmt(cover.mean / std::max(ecc, 1.0), 2)});
+      std::cout << "graph: " << c.spec << "\n" << table << "\n";
+      h.json()
+          .record(c.spec)
+          .field("spec", c.spec)
+          .field("n", static_cast<double>(g.num_vertices()))
+          .field("eccentricity", ecc)
+          .field("cover_mean", cover.mean);
+    }
+    return h.finish();
+  }
+
+  const bool smoke = h.smoke();
+  sweep_arity(h, 2,
+              smoke ? std::vector<std::uint32_t>{3, 4, 5}
+                    : std::vector<std::uint32_t>{4, 6, 8, 10, 12},
+              trials);
+  sweep_arity(h, 3,
+              smoke ? std::vector<std::uint32_t>{3, 4}
+                    : std::vector<std::uint32_t>{3, 4, 5, 6, 7},
+              trials);
+  // Beyond the proved cases: the conjecture.
+  sweep_arity(h, 4,
+              smoke ? std::vector<std::uint32_t>{3, 4}
+                    : std::vector<std::uint32_t>{3, 4, 5, 6},
+              trials);
+  star_sweep(h,
+             smoke ? std::vector<std::uint32_t>{32, 64}
+                   : std::vector<std::uint32_t>{64, 128, 256, 512, 1024},
+             trials);
+
   std::cout
       << "\nreading: tree cover/diameter ratios stay in a narrow band for\n"
          "k = 2, 3 (the proved cases) and for k = 4 (the conjecture); the\n"
          "star's cover divided by n ln n is flat, pinning the Omega(n log n)\n"
          "worst-case lower bound quoted in s6.\n";
-  return 0;
+  return h.finish();
 }

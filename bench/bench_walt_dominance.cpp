@@ -7,18 +7,24 @@
 /// in the paper); dominance predicts Walt >= cobra at every quantile. Also
 /// reports the non-lazy Walt (the factor-2 laziness cost) and the effect
 /// of the pebble budget.
+///
+/// Usage: bench_walt_dominance [--trials T] [--graph <spec>] [--out path]
+///        [--smoke]
+///   Case graphs are built through the spec registry. --graph replaces
+///   the case list with one comparison; --smoke shrinks graph sizes and
+///   the trial count for CI.
 
-#include "bench_common.hpp"
+#include "harness.hpp"
 
 #include "core/cover_time.hpp"
-#include "graph/generators.hpp"
 
 namespace {
 
 using namespace cobra;
 
-void compare_on(const std::string& name, const graph::Graph& g,
+void compare_on(bench::Harness& h, const bench::BuiltCase& c,
                 std::uint32_t trials, std::uint64_t seed) {
+  const graph::Graph& g = c.graph;
   const std::uint32_t pebbles = std::max(2u, g.num_vertices() / 2);
   const auto cobra = bench::measure(trials, seed, [&](core::Engine& gen) {
     return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
@@ -43,31 +49,54 @@ void compare_on(const std::string& name, const graph::Graph& g,
   row("2-cobra walk", cobra);
   row("Walt, lazy (paper's)", walt_lazy);
   row("Walt, non-lazy", walt_eager);
-  std::cout << name << "  (n = " << g.num_vertices()
+  const double margin = walt_lazy.mean / cobra.mean;
+  std::cout << c.name << "  (n = " << g.num_vertices()
             << ", pebbles = " << pebbles << ")\n"
             << table;
   std::cout << "  dominance margin (lazy Walt mean / cobra mean): "
-            << io::Table::fmt(walt_lazy.mean / cobra.mean, 2) << "x\n\n";
+            << io::Table::fmt(margin, 2) << "x\n\n";
+  h.json()
+      .record(c.name)
+      .field("spec", c.spec)
+      .field("n", static_cast<double>(g.num_vertices()))
+      .field("pebbles", static_cast<double>(pebbles))
+      .field("cobra_cover_mean", cobra.mean)
+      .field("cobra_cover_median", cobra.median)
+      .field("walt_lazy_cover_mean", walt_lazy.mean)
+      .field("walt_lazy_cover_median", walt_lazy.median)
+      .field("walt_eager_cover_mean", walt_eager.mean)
+      .field("dominance_margin", margin);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("walt_dominance",
+                   bench::parse_bench_args(argc, argv, {"trials"}));
+  const std::uint32_t trials = h.trials(50, 8);
+  h.json().context("trials", static_cast<double>(trials));
+
   bench::print_header(
       "E7  (Lemma 10)",
       "Walt's cover time stochastically dominates the 2-cobra walk's");
 
-  core::Engine graph_gen(0xE7);
-  compare_on("random 4-regular", graph::make_random_regular(graph_gen, 256, 4),
-             50, 0xE7100);
-  compare_on("hypercube Q_8", graph::make_hypercube(8), 50, 0xE7200);
-  compare_on("torus 16x16", graph::make_grid(2, 16, true), 50, 0xE7300);
-  compare_on("grid 16x16", graph::make_grid(2, 16), 50, 0xE7400);
+  const std::vector<bench::SuiteCase> cases = {
+      {"random 4-regular", "rreg:n=256,d=4,seed=231", "rreg:n=64,d=4,seed=231"},
+      {"hypercube", "hypercube:dims=8", "hypercube:dims=5"},
+      {"torus", "torus:side=16,dims=2", "torus:side=8,dims=2"},
+      {"grid", "grid:side=16,dims=2", "grid:side=8,dims=2"},
+  };
+
+  std::uint64_t seed = 0xE7100;
+  for (const auto& c : h.suite(cases)) {
+    compare_on(h, c, trials, seed);
+    seed += 0x100;
+  }
 
   std::cout
       << "reading: lazy Walt sits above the cobra walk at every reported\n"
          "quantile (mean/median/q75), as Lemma 10 requires - it is the\n"
          "analyzable stand-in whose upper bounds transfer to cobra walks.\n"
          "The non-lazy variant shows the factor ~2 the laziness costs.\n";
-  return 0;
+  return h.finish();
 }

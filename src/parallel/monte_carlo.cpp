@@ -1,9 +1,37 @@
 #include "parallel/monte_carlo.hpp"
 
+#include <atomic>
+
 namespace cobra::par {
 
+namespace {
+
+// 0 = hardware concurrency; set by request_global_pool_threads before the
+// pool's first use (mains apply the --threads flag while still
+// single-threaded, during argument parsing). The exists flag is atomic
+// because global_pool() is also reached from pool worker threads (a
+// frontier step inside a Monte-Carlo trial resolves the default pool).
+std::size_t& requested_global_threads() {
+  static std::size_t count = 0;
+  return count;
+}
+
+std::atomic<bool>& global_pool_exists() {
+  static std::atomic<bool> exists{false};
+  return exists;
+}
+
+}  // namespace
+
+bool request_global_pool_threads(std::size_t num_threads) {
+  if (global_pool_exists().load(std::memory_order_acquire)) return false;
+  requested_global_threads() = num_threads;
+  return true;
+}
+
 ThreadPool& global_pool() {
-  static ThreadPool pool;  // hardware concurrency
+  static ThreadPool pool(requested_global_threads());
+  global_pool_exists().store(true, std::memory_order_release);
   return pool;
 }
 

@@ -72,4 +72,10 @@ std::vector<double> run_trials_serial(const MonteCarloOptions& opts, Trial&& tri
 /// examples route through this so the process never oversubscribes.
 ThreadPool& global_pool();
 
+/// Request the worker count for the lazily-created global pool (0 means
+/// hardware concurrency, the default). Effective only before the first
+/// global_pool() call: returns false and changes nothing once the pool
+/// exists. The benches' shared --threads flag routes through this.
+bool request_global_pool_threads(std::size_t num_threads);
+
 }  // namespace cobra::par

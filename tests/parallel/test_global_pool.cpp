@@ -1,0 +1,23 @@
+#include <gtest/gtest.h>
+
+#include "parallel/monte_carlo.hpp"
+
+namespace cobra::par {
+namespace {
+
+// Own binary on purpose: the global pool is created once per process, so
+// this ordering-sensitive test must not share a process with suites that
+// touch global_pool() first. Kept as ONE test so the create-then-reject
+// sequence is a single deterministic program order.
+TEST(GlobalPool, ThreadRequestAppliesOnlyBeforeFirstUse) {
+  // Before the pool exists, a request is accepted and sizes the pool.
+  EXPECT_TRUE(request_global_pool_threads(2));
+  EXPECT_EQ(global_pool().size(), 2u);
+  // Once created, later requests are rejected and the size is unchanged —
+  // the contract behind the benches' --threads flag warning.
+  EXPECT_FALSE(request_global_pool_threads(4));
+  EXPECT_EQ(global_pool().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cobra::par
