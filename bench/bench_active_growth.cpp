@@ -22,6 +22,8 @@
 #include "harness.hpp"
 
 #include "core/cobra_walk.hpp"
+#include "sim/observers.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -39,21 +41,19 @@ void growth_curve(bench::Harness& h, const bench::BuiltCase& c,
   par::MonteCarloOptions opts;
   opts.base_seed = seed;
   opts.trials = trials;
-  // One trial returns nothing usable scalar-wise; collect via side vectors
-  // guarded per-trial (each trial writes its own slot).
+  // One trial returns nothing usable scalar-wise; each trial records its
+  // whole growth curve (the sim::GrowthCurve observer) into its own slot.
   std::vector<std::vector<double>> per_trial(trials);
   par::run_trials(par::global_pool(), opts,
                   [&](core::Engine& gen, std::uint32_t trial) {
                     core::CobraWalk walk(g, 0, 2);
+                    sim::GrowthCurve curve;
+                    sim::Runner(horizon).run(walk, gen,
+                                             sim::FixedRounds(horizon), curve);
                     std::vector<double>& mine = per_trial[trial];
                     mine.resize(checkpoints.size());
-                    std::size_t next = 0;
-                    for (std::uint64_t t = 1;
-                         t <= horizon && next < checkpoints.size(); ++t) {
-                      walk.step(gen);
-                      if (t == checkpoints[next]) {
-                        mine[next++] = static_cast<double>(walk.active().size());
-                      }
+                    for (std::size_t ck = 0; ck < checkpoints.size(); ++ck) {
+                      mine[ck] = static_cast<double>(curve.at(checkpoints[ck]));
                     }
                     return 0.0;
                   });

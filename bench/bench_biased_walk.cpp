@@ -22,8 +22,10 @@
 #include "harness.hpp"
 
 #include "core/biased_walk.hpp"
-#include "core/hitting_time.hpp"
+#include "core/cobra_walk.hpp"
 #include "graph/algorithms.hpp"
+#include "sim/observers.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -41,19 +43,18 @@ double thm13_bound(const graph::Graph& g, graph::Vertex v, double epsilon) {
   return g.degree(v) / denom;
 }
 
-/// Long-run occupancy of the target under the greedy epsilon-biased walk.
+/// Long-run occupancy of the target under the greedy epsilon-biased walk:
+/// a fixed-horizon burn-in run followed by a fixed-horizon run carrying
+/// the occupancy observer.
 double measure_occupancy(const graph::Graph& g, graph::Vertex target,
                          double epsilon, std::uint64_t steps,
                          core::Engine& gen) {
   core::BiasedWalk walk(g, 0, target, core::BiasSchedule::EpsilonBias, epsilon);
-  // Burn-in, then count visits.
-  for (std::uint64_t t = 0; t < steps / 4; ++t) walk.step(gen);
-  std::uint64_t visits = 0;
-  for (std::uint64_t t = 0; t < steps; ++t) {
-    walk.step(gen);
-    if (walk.at_target()) ++visits;
-  }
-  return static_cast<double>(visits) / static_cast<double>(steps);
+  const sim::Runner runner;
+  runner.run(walk, gen, sim::FixedRounds(steps / 4));  // burn-in
+  sim::OccupancyCounter occupancy(target);
+  runner.run(walk, gen, sim::FixedRounds(steps), occupancy);
+  return occupancy.fraction();
 }
 
 /// The occupancy/epsilon-sweep target: the mid-id vertex — the antipode on
@@ -112,7 +113,7 @@ void epsilon_sweep(bench::Harness& h, std::uint32_t trials) {
             core::BiasedWalk walk(g, 0, target, core::BiasSchedule::EpsilonBias,
                                   eps);
             return static_cast<double>(
-                core::run_to_hit(walk, target, gen, 1u << 24).steps);
+                sim::run_hit(walk, target, gen, 1u << 24).rounds);
           });
       table.add_row({io::Table::fmt(eps, 2), bench::mean_ci(hit)});
       h.json()
@@ -147,14 +148,14 @@ void lemma14_table(bench::Harness& h, std::uint32_t trials) {
     const auto cobra =
         bench::measure(trials, 0xE8300 ^ std::hash<std::string>{}(c.spec),
                        [&](core::Engine& gen) {
-                         return static_cast<double>(
-                             core::cobra_hit(g, u, v, 2, gen).steps);
+                         return sim::hit_rounds<core::CobraWalk>(gen, v, g, u, 2);
                        });
     const auto biased =
         bench::measure(trials, 0xE8400 ^ std::hash<std::string>{}(c.spec),
                        [&](core::Engine& gen) {
-                         return static_cast<double>(
-                             core::inverse_degree_hit(g, u, v, gen).steps);
+                         return sim::hit_rounds<core::BiasedWalk>(
+                             gen, v, g, u, v,
+                             core::BiasSchedule::InverseDegreeBias);
                        });
     table.add_row({c.name, io::Table::fmt_int(dist[v]), bench::mean_ci(cobra),
                    bench::mean_ci(biased),

@@ -20,8 +20,9 @@
 
 #include "harness.hpp"
 
-#include "core/cover_time.hpp"
+#include "core/cobra_walk.hpp"
 #include "graph/spectral.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -35,7 +36,7 @@ void add_row(bench::Harness& h, io::Table& table, const std::string& family,
   const double phi = est.point();
   const auto cover = bench::measure(
       trials, seed ^ std::hash<std::string>{}(c.spec), [&](core::Engine& gen) {
-        return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+        return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
       });
   const double ln_n = std::log(static_cast<double>(g.num_vertices()));
   const double bound_shape = (1.0 / (phi * phi)) * ln_n * ln_n;

@@ -21,8 +21,8 @@
 
 #include "harness.hpp"
 
-#include "core/cover_time.hpp"
 #include "core/generalized_cobra.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -32,17 +32,13 @@ double cover_with_schedule(const graph::Graph& g,
                            const core::BranchingSchedule& schedule,
                            core::Engine& gen, std::uint64_t budget) {
   core::GeneralizedCobraWalk walk(g, 0, schedule);
-  core::CoverageTracker tracker(g.num_vertices());
-  tracker.absorb(walk.active());
-  std::uint64_t steps = 0;
-  while (!tracker.complete() && steps < budget && !walk.extinct()) {
-    walk.step(gen);
-    ++steps;
-    tracker.absorb(walk.active());
-  }
+  sim::CoverStop cover;
+  sim::Extinction extinct;
+  const auto r =
+      sim::Runner(budget).run(walk, gen, sim::any_of(cover, extinct));
   // Extinction before coverage counts as the full budget (failed broadcast).
-  return tracker.complete() ? static_cast<double>(steps)
-                            : static_cast<double>(budget);
+  return cover.complete() ? static_cast<double>(r.rounds)
+                          : static_cast<double>(budget);
 }
 
 void sweep(bench::Harness& h, const bench::BuiltCase& c, std::uint32_t trials,

@@ -17,9 +17,9 @@
 
 #include "harness.hpp"
 
-#include "core/coalescing_walk.hpp"
-#include "core/cover_time.hpp"
+#include "core/cobra_walk.hpp"
 #include "core/gossip.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -75,16 +75,16 @@ int main(int argc, char** argv) {
     const graph::Graph g = gen::build_graph(spec);
     const std::uint64_t h = std::hash<std::string>{}(name);
     const auto cobra = bench::measure(trials, 0xEA100 ^ h, [&](core::Engine& gen) {
-      return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+      return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
     });
     const auto push = bench::measure(trials, 0xEA200 ^ h, [&](core::Engine& gen) {
-      return static_cast<double>(core::gossip_push_cover(g, 0, gen).steps);
+      return sim::cover_rounds<core::Gossip>(gen, g, 0, core::GossipMode::Push);
     });
     const auto pushpull =
         bench::measure(trials, 0xEA300 ^ h, [&](core::Engine& gen) {
           core::Gossip gossip(g, 0, core::GossipMode::PushPull);
           return static_cast<double>(
-              core::run_to_cover(gossip, gen, 1u << 26).steps);
+              sim::run_cover(gossip, gen, 1u << 26).rounds);
         });
     const double n_ln_n = static_cast<double>(g.num_vertices()) *
                           std::log(static_cast<double>(g.num_vertices()));

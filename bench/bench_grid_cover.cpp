@@ -17,11 +17,23 @@
 
 #include "harness.hpp"
 
-#include "core/cover_time.hpp"
+#include "core/cobra_walk.hpp"
+#include "core/random_walk.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
 using namespace cobra;
+
+/// Cover rounds of a fresh process through the shared sim::Runner (the
+/// bespoke per-process cover loops this bench used to call).
+double cobra_cover_rounds(const graph::Graph& g, core::Engine& gen) {
+  return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
+}
+
+double rw_cover_rounds(const graph::Graph& g, core::Engine& gen) {
+  return sim::cover_rounds<core::RandomWalk>(gen, g, 0);
+}
 
 void sweep_dimension(bench::Harness& h, std::uint32_t d,
                      const std::vector<std::uint32_t>& sides,
@@ -41,9 +53,8 @@ void sweep_dimension(bench::Harness& h, std::uint32_t d,
     const auto side = static_cast<std::uint32_t>(std::llround(
         std::pow(static_cast<double>(g.num_vertices()), 1.0 / d)));
     const auto cobra = bench::measure(
-        trials, 0xE1000 + side + d * 1000, [&](core::Engine& gen) {
-          return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
-        });
+        trials, 0xE1000 + side + d * 1000,
+        [&](core::Engine& gen) { return cobra_cover_rounds(g, gen); });
     ns.push_back(side);
     cobra_means.push_back(cobra.mean);
 
@@ -51,8 +62,7 @@ void sweep_dimension(bench::Harness& h, std::uint32_t d,
     if (include_rw) {
       rw = bench::measure(trials, 0xE1500 + side + d * 1000,
                           [&](core::Engine& gen) {
-                            return static_cast<double>(
-                                core::random_walk_cover(g, 0, gen).steps);
+                            return rw_cover_rounds(g, gen);
                           });
       rw_means.push_back(rw.mean);
     }
@@ -106,11 +116,10 @@ int main(int argc, char** argv) {
   if (h.has_graph()) {
     for (const auto& c : h.suite({})) {
       const auto cobra = bench::measure(trials, 0xE1000, [&](core::Engine& gen) {
-        return static_cast<double>(core::cobra_cover(c.graph, 0, 2, gen).steps);
+        return cobra_cover_rounds(c.graph, gen);
       });
       const auto rw = bench::measure(trials, 0xE1500, [&](core::Engine& gen) {
-        return static_cast<double>(
-            core::random_walk_cover(c.graph, 0, gen).steps);
+        return rw_cover_rounds(c.graph, gen);
       });
       io::Table table({"n", "cobra cover", "rw cover"});
       table.add_row({io::Table::fmt_int(c.graph.num_vertices()),

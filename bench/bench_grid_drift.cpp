@@ -10,10 +10,13 @@
 ///   3. Lemma 6's excursion cap: after hitting 0, the max distance over a
 ///      long horizon grows like log(horizon), not polynomially.
 ///
-/// Usage: bench_grid_drift [--trials T] [--out path] [--smoke]
+/// Usage: bench_grid_drift [--trials T] [--out path] [--smoke] [--caps]
 ///   This bench walks the Z^d drift chain directly, not a generated
-///   graph, so --graph is accepted (shared CLI) but has no effect;
-///   --smoke shrinks the per-cell trial counts and horizons for CI.
+///   graph, so --graph is accepted (shared CLI) but has no effect — it
+///   declares `graph=no` in its --caps metadata, which is how sweep
+///   drivers (cobra_sweep) know to skip it instead of keeping a hardcoded
+///   list. --smoke shrinks the per-cell single-step trial counts, the
+///   Lemma 5 distance sweep, and the Lemma 6 horizon for CI.
 
 #include <cmath>
 
@@ -147,7 +150,9 @@ void lemma6_table(bench::Harness& h, std::uint64_t max_horizon) {
 
 int main(int argc, char** argv) {
   bench::Harness h("grid_drift",
-                   bench::parse_bench_args(argc, argv, {"trials"}));
+                   bench::parse_bench_args(
+                       argc, argv, {"trials"},
+                       {.graph = bench::BenchCaps::Graph::NoOp}));
   const std::uint32_t trials = h.trials(60, 10);
   h.json().context("trials", static_cast<double>(trials));
   if (h.has_graph()) {

@@ -16,8 +16,9 @@
 
 #include "harness.hpp"
 
-#include "core/cover_time.hpp"
+#include "core/cobra_walk.hpp"
 #include "core/hitting_time.hpp"
+#include "sim/runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace cobra;
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
     const auto cover = bench::measure(
         trials, 0xE6200 ^ std::hash<std::string>{}(c.spec),
         [&](core::Engine& e) {
-          return static_cast<double>(core::cobra_cover(g, 0, 2, e).steps);
+          return sim::cover_rounds<core::CobraWalk>(e, g, 0, 2);
         });
     const double ln_n = std::log(static_cast<double>(g.num_vertices()));
     const double matthews_c = cover.mean / (hmax.hmax * ln_n);

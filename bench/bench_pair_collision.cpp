@@ -14,11 +14,14 @@
 ///      showing the O(Phi^-2 log n) decay Theorem 12 (Chung) provides.
 ///
 /// Usage: bench_pair_collision [--trials T] [--graph <spec>] [--out path]
-///        [--smoke]
+///        [--smoke] [--caps]
 ///   Case graphs are built through the spec registry. --graph replaces
-///   the simulated-collision case list with that one graph (the exact
-///   D(G x G) tables keep their tiny built-in cases: they materialize n^2
-///   states); --smoke shrinks the trial count for CI.
+///   the simulated-collision case list with that one graph ONLY — the
+///   exact D(G x G) tables keep their tiny built-in cases (they
+///   materialize n^2 states), so this bench declares `graph=partial` in
+///   its --caps metadata and sweep drivers skip it rather than hardcoding
+///   the exception. --smoke shrinks the trial count for CI (the graph
+///   suite is already tiny; no sizes change under --smoke).
 
 #include <cmath>
 
@@ -168,7 +171,9 @@ void mixing_table(bench::Harness& h) {
 
 int main(int argc, char** argv) {
   bench::Harness h("pair_collision",
-                   bench::parse_bench_args(argc, argv, {"trials"}));
+                   bench::parse_bench_args(
+                       argc, argv, {"trials"},
+                       {.graph = bench::BenchCaps::Graph::Partial}));
   const std::uint32_t trials = h.trials(4000, 400);
   h.json().context("trials", static_cast<double>(trials));
 

@@ -18,12 +18,25 @@
 
 #include "harness.hpp"
 
-#include "core/hitting_time.hpp"
+#include "core/cobra_walk.hpp"
+#include "core/random_walk.hpp"
 #include "graph/algorithms.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
 using namespace cobra;
+
+/// First-hit rounds of a fresh process through the shared sim::Runner.
+double cobra_hit_rounds(const graph::Graph& g, graph::Vertex from,
+                        graph::Vertex to, core::Engine& gen) {
+  return sim::hit_rounds<core::CobraWalk>(gen, to, g, from, 2);
+}
+
+double rw_hit_rounds(const graph::Graph& g, graph::Vertex from,
+                     graph::Vertex to, core::Engine& gen) {
+  return sim::hit_rounds<core::RandomWalk>(gen, to, g, from);
+}
 
 /// BFS-farthest pair from vertex 0 — a worst-case-ish hitting pair.
 std::pair<graph::Vertex, graph::Vertex> far_pair(const graph::Graph& g) {
@@ -49,10 +62,10 @@ void sweep_cycle(const std::vector<std::uint32_t>& sizes, std::uint32_t trials,
     const graph::Graph g = gen::build_graph("ring:n=" + std::to_string(n));
     const auto cobra =
         bench::measure(trials, 0xE4100 + n, [&](core::Engine& gen) {
-          return static_cast<double>(core::cobra_hit(g, 0, n / 2, 2, gen).steps);
+          return cobra_hit_rounds(g, 0, n / 2, gen);
         });
     const auto rw = bench::measure(trials, 0xE4200 + n, [&](core::Engine& gen) {
-      return static_cast<double>(core::random_walk_hit(g, 0, n / 2, gen).steps);
+      return rw_hit_rounds(g, 0, n / 2, gen);
     });
     const double nd = n;
     table.add_row({io::Table::fmt_int(n), bench::mean_ci(cobra),
@@ -90,9 +103,10 @@ void sweep_regular(std::uint32_t delta, const std::vector<std::uint32_t>& sizes,
         ",seed=" + std::to_string(0xE43 + delta + n));
     const auto [a, b] = far_pair(g);
     const auto dist = graph::bfs_distances(g, a);
-    const auto hit =
-        bench::measure(trials, 0xE4400 + n + delta, [&](core::Engine& gen) {
-          return static_cast<double>(core::cobra_hit(g, a, b, 2, gen).steps);
+    const auto hit = bench::measure(
+        trials, 0xE4400 + n + delta,
+        [&, a = a, b = b](core::Engine& gen) {
+          return cobra_hit_rounds(g, a, b, gen);
         });
     table.add_row({io::Table::fmt_int(n), io::Table::fmt_int(dist[b]),
                    bench::mean_ci(hit),
@@ -141,8 +155,7 @@ int main(int argc, char** argv) {
     const auto dist = graph::bfs_distances(g, a);
     const auto hit = bench::measure(trials > 0 ? trials : 40, 0xE4500,
                                     [&, a = a, b = b](core::Engine& gen) {
-                                      return static_cast<double>(
-                                          core::cobra_hit(g, a, b, 2, gen).steps);
+                                      return cobra_hit_rounds(g, a, b, gen);
                                     });
     io::Table table({"n", "far pair dist", "cobra H(far pair)"});
     table.add_row({io::Table::fmt_int(g.num_vertices()),

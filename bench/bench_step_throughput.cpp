@@ -27,6 +27,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -118,10 +119,17 @@ Measurement run_config(const graph::Graph& g, core::FrontierOptions opts,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const io::Args args =
-      bench::parse_bench_args(argc, argv, {"nexp", "warm", "expect-dense"});
+  const io::Args args = bench::parse_bench_args(
+      argc, argv, {"nexp", "warm", "expect-dense", "dense-guard"});
   const bool smoke = args.get_bool("smoke", false);
   const bool expect_dense = args.get_bool("expect-dense", false);
+  double dense_guard = 0.0;
+  try {
+    dense_guard = args.get_double("dense-guard", 0.0);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
   const std::string out_path =
       args.get("out", "BENCH_step_throughput.json");
   const auto n_exp = bench::uint_flag(args, "nexp", smoke ? 14 : 20);
@@ -212,6 +220,50 @@ int main(int argc, char** argv) {
               << table << "\n";
   }
 
+  bool guard_failed = false;
+  if (dense_guard > 0.0) {
+    // Dense fixed-cost guard (perf-smoke): the same graph on a 4-worker
+    // pool with the parallel dense ops (bitmap clear / materialization) on
+    // vs off. Determinism makes both configs execute identical rounds, so
+    // the ratio is pure wall clock; the generous floor catches a
+    // catastrophic regression of the parallelized fixed costs without
+    // asserting machine-dependent speedups.
+    const int guard_timed = 30;
+    for (const auto& [name, spec, g, warm] : suite) {
+      par::ThreadPool pool(4);
+      core::FrontierOptions on_opts, off_opts;
+      on_opts.pool = &pool;
+      off_opts.pool = &pool;
+      off_opts.parallel_dense_ops = false;
+      const Measurement off = run_config(g, off_opts, warm, guard_timed);
+      const Measurement on = run_config(g, on_opts, warm, guard_timed);
+      const double ratio = off.seconds / on.seconds;
+      json.record(name + "/dense_guard")
+          .field("graph", name)
+          .field("dense_rounds", static_cast<double>(on.dense_rounds))
+          .field("seconds_parallel_ops", on.seconds)
+          .field("seconds_serial_ops", off.seconds)
+          .field("throughput_ratio", ratio)
+          .field("floor", dense_guard);
+      std::cout << "dense guard [" << name << "]: parallel-ops/serial-ops "
+                << "throughput ratio " << io::Table::fmt(ratio, 2) << " (floor "
+                << io::Table::fmt(dense_guard, 2) << ", dense rounds "
+                << on.dense_rounds << ")\n";
+      if (on.dense_rounds == 0) {
+        std::cerr << "bench_step_throughput: --dense-guard, but no timed "
+                     "round took the dense path on "
+                  << name << "\n";
+        guard_failed = true;
+      } else if (ratio < dense_guard) {
+        std::cerr << "bench_step_throughput: dense-round throughput "
+                     "regressed: ratio "
+                  << ratio << " < floor " << dense_guard << " on " << name
+                  << "\n";
+        guard_failed = true;
+      }
+    }
+  }
+
   const bool wrote = json.write(out_path);
   std::cout << "reading: the serial and pool rows execute bit-identical\n"
                "rounds, so speedup is pure wall-clock ratio. Expect ~1x on\n"
@@ -225,5 +277,6 @@ int main(int argc, char** argv) {
                  "round took the dense path\n";
     return 1;
   }
+  if (guard_failed) return 1;
   return wrote ? 0 : 1;
 }

@@ -18,12 +18,18 @@
 
 #include "harness.hpp"
 
-#include "core/cover_time.hpp"
+#include "core/cobra_walk.hpp"
 #include "graph/algorithms.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
 using namespace cobra;
+
+/// Cover rounds of a fresh 2-cobra walk through the shared sim::Runner.
+double cobra_cover_rounds(const graph::Graph& g, core::Engine& gen) {
+  return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
+}
 
 void sweep_arity(bench::Harness& h, std::uint32_t arity,
                  const std::vector<std::uint32_t>& levels,
@@ -42,9 +48,8 @@ void sweep_arity(bench::Harness& h, std::uint32_t arity,
     const graph::Graph& g = c.graph;
     const double diameter = 2.0 * (depth - 1);
     const auto cover = bench::measure(
-        trials, 0xE9000 + arity * 100 + depth, [&](core::Engine& gen) {
-          return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
-        });
+        trials, 0xE9000 + arity * 100 + depth,
+        [&](core::Engine& gen) { return cobra_cover_rounds(g, gen); });
     table.add_row({io::Table::fmt_int(depth),
                    io::Table::fmt_int(g.num_vertices()),
                    io::Table::fmt(diameter, 0), bench::mean_ci(cover),
@@ -87,11 +92,9 @@ void star_sweep(bench::Harness& h, const std::vector<std::uint32_t>& sizes,
   for (const auto& c : h.suite(cases)) {
     const graph::Graph& g = c.graph;
     const std::uint32_t n = g.num_vertices();
-    const auto cover = bench::measure(trials, 0xE9900 + n,
-                                      [&](core::Engine& gen) {
-                                        return static_cast<double>(
-                                            core::cobra_cover(g, 0, 2, gen).steps);
-                                      });
+    const auto cover = bench::measure(
+        trials, 0xE9900 + n,
+        [&](core::Engine& gen) { return cobra_cover_rounds(g, gen); });
     const double ln_n = std::log(static_cast<double>(n));
     // Every other round the walk sits at the hub and samples 2 leaves:
     // coupon collector over n-1 leaves with 2 draws per 2 rounds -> the
@@ -131,7 +134,7 @@ int main(int argc, char** argv) {
     for (const auto& c : h.suite({})) {
       const graph::Graph& g = c.graph;
       const auto cover = bench::measure(trials, 0xE9000, [&](core::Engine& gen) {
-        return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+        return cobra_cover_rounds(g, gen);
       });
       // Eccentricity of the start vertex: a diameter lower bound that is
       // exact on the suite's trees (rooted at the hub/root).

@@ -16,7 +16,9 @@
 
 #include "harness.hpp"
 
-#include "core/cover_time.hpp"
+#include "core/cobra_walk.hpp"
+#include "core/walt.hpp"
+#include "sim/runner.hpp"
 
 namespace {
 
@@ -27,17 +29,15 @@ void compare_on(bench::Harness& h, const bench::BuiltCase& c,
   const graph::Graph& g = c.graph;
   const std::uint32_t pebbles = std::max(2u, g.num_vertices() / 2);
   const auto cobra = bench::measure(trials, seed, [&](core::Engine& gen) {
-    return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+    return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
   });
   const auto walt_lazy =
       bench::measure(trials, seed + 1, [&](core::Engine& gen) {
-        return static_cast<double>(
-            core::walt_cover(g, 0, pebbles, true, gen).steps);
+        return sim::cover_rounds<core::Walt>(gen, g, 0, pebbles, true);
       });
   const auto walt_eager =
       bench::measure(trials, seed + 2, [&](core::Engine& gen) {
-        return static_cast<double>(
-            core::walt_cover(g, 0, pebbles, false, gen).steps);
+        return sim::cover_rounds<core::Walt>(gen, g, 0, pebbles, false);
       });
 
   io::Table table({"process", "mean", "median", "q75", "max"});

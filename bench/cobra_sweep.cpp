@@ -1,0 +1,253 @@
+/// cobra_sweep — the ROADMAP's sweep driver: run a registered bench-style
+/// measurement over a --graph spec list x a --threads list and merge the
+/// per-run JSON into ONE longitudinal file (what used to be a shell loop
+/// plus a directory of smoke_*.json).
+///
+/// Each (bench, spec, threads) cell runs as a CHILD PROCESS: the global
+/// pool honors --threads only before its first use, so thread-count sweeps
+/// cannot share a process — exactly the constraint that made this a shell
+/// loop before. The child's --out JSON is embedded verbatim in the merged
+/// file (see sweep.hpp for the schema), and the sweep FAILS (exit 1) if
+/// any run is dropped — a crashed child or unwritable file can't silently
+/// thin the longitudinal record.
+///
+/// Benches are queried for capability metadata first (`<bench> --caps`):
+/// a bench whose --graph does not drive its measurement (grid_drift's Z^d
+/// chain, pair_collision's exact tables) declares that itself and is
+/// skipped with a note — no hardcoded skip list here.
+///
+/// Usage:
+///   cobra_sweep --graph <spec[,spec...]> [--bench b1,b2] [--threads 1,2]
+///               --out sweep.json [--bindir DIR] [--trials T] [--smoke]
+///   cobra_sweep --validate sweep.json [--expect-runs N]
+///
+///   --graph    spec list; ';' separates always, ',' smartly (a segment
+///              naming a family starts a new spec, a key=value segment
+///              continues the previous one), so
+///              "rreg:n=128,d=4,seed=1,ring:n=64" is two specs
+///   --bench    bench binaries to drive (default bench_expander_cover)
+///   --threads  global-pool worker counts per run (default "1")
+///   --bindir   directory holding the bench binaries (default: the
+///              directory cobra_sweep itself was launched from)
+///   --trials / --smoke   forwarded to every child verbatim
+///   --keep-runs keep the per-run scratch directory (<out>.runs: child
+///              JSON + logs) after a fully successful sweep; it is always
+///              kept when any run fails, since it holds the only
+///              diagnostics
+///   --validate re-check a merged file: exit 0 iff it holds exactly the
+///              runs it promises (the sweep-smoke ctest's second half)
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "sweep.hpp"
+
+namespace {
+
+using namespace cobra;
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// `<bench> --caps` output, or "" when the binary can't be run.
+std::string query_caps(const std::filesystem::path& binary,
+                       const std::filesystem::path& scratch) {
+  const std::string cmd = shell_quote(binary.string()) + " --caps > " +
+                          shell_quote(scratch.string()) + " 2>/dev/null";
+  if (std::system(cmd.c_str()) != 0) return "";
+  return read_file(scratch);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> allowed = {"graph",  "bench",    "threads",
+                                      "bindir", "out",      "trials",
+                                      "smoke",  "validate", "expect-runs",
+                                      "keep-runs"};
+  io::Args args(0, nullptr, {});
+  try {
+    args = io::Args(argc, argv, allowed);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "cobra_sweep: " << e.what() << "\nflags:";
+    for (const auto& flag : allowed) std::cerr << " --" << flag;
+    std::cerr << "\n";
+    return 1;
+  }
+  std::size_t expect_runs = 0;
+  std::size_t trials = 0;
+  try {
+    expect_runs = static_cast<std::size_t>(args.get_uint("expect-runs", 0));
+    trials = static_cast<std::size_t>(args.get_uint("trials", 0));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "cobra_sweep: " << e.what() << "\n";
+    return 1;
+  }
+
+  // ---- validate mode -----------------------------------------------------
+  if (args.has("validate")) {
+    const std::string path = args.get("validate", "");
+    const std::string text = read_file(path);
+    if (text.empty()) {
+      std::cerr << "cobra_sweep: cannot read " << path << "\n";
+      return 1;
+    }
+    std::string error;
+    if (!bench::validate_merged_sweep(text, expect_runs, &error)) {
+      std::cerr << "cobra_sweep: " << path << " INVALID: " << error << "\n";
+      return 1;
+    }
+    std::cout << "cobra_sweep: " << path << " valid ("
+              << bench::count_merged_runs(text) << " runs)\n";
+    return 0;
+  }
+
+  // ---- sweep mode --------------------------------------------------------
+  if (!args.has("graph") || !args.has("out")) {
+    std::cerr << "cobra_sweep: --graph <spec[,spec...]> and --out <path> are "
+                 "required (or --validate <file>)\n";
+    return 1;
+  }
+  const std::string out_path = args.get("out", "");
+  std::vector<std::string> specs;
+  std::vector<std::size_t> thread_counts;
+  std::vector<std::string> benches;
+  try {
+    specs = bench::split_spec_list(args.get("graph", ""));
+    thread_counts = bench::split_uint_list(args.get("threads", "1"));
+    for (const auto& b : bench::split_spec_list(args.get("bench", ""))) {
+      benches.push_back(b);
+    }
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "cobra_sweep: " << e.what() << "\n";
+    return 1;
+  }
+  if (benches.empty()) benches = {"bench_expander_cover"};
+  if (specs.empty()) {
+    std::cerr << "cobra_sweep: --graph parsed to an empty spec list\n";
+    return 1;
+  }
+
+  namespace fs = std::filesystem;
+  const fs::path bindir =
+      args.has("bindir") ? fs::path(args.get("bindir", ""))
+                         : fs::path(argv[0]).parent_path();
+  const fs::path workdir = fs::path(out_path.empty() ? "sweep" : out_path)
+                               .concat(".runs");
+  std::error_code ec;
+  fs::create_directories(workdir, ec);
+  if (ec) {
+    std::cerr << "cobra_sweep: cannot create " << workdir << ": "
+              << ec.message() << "\n";
+    return 1;
+  }
+
+  // Capability pass: drop benches whose --graph is not the measurement.
+  std::vector<std::string> swept;
+  for (const auto& name : benches) {
+    const fs::path binary = bindir / name;
+    const std::string caps = query_caps(binary, workdir / (name + ".caps"));
+    if (caps.empty()) {
+      std::cerr << "cobra_sweep: cannot run " << binary
+                << " --caps (missing binary?)\n";
+      return 1;
+    }
+    if (bench::parse_caps_graph(caps) != bench::BenchCaps::Graph::Effective) {
+      std::cout << "cobra_sweep: skipping " << name
+                << " (its --caps declare --graph is not the measurement)\n";
+      continue;
+    }
+    swept.push_back(name);
+  }
+  if (swept.empty()) {
+    std::cerr << "cobra_sweep: every requested bench declared --graph "
+                 "ineffective; nothing to sweep\n";
+    return 1;
+  }
+
+  const std::size_t expected = swept.size() * specs.size() * thread_counts.size();
+  std::vector<bench::SweepRun> runs;
+  std::size_t failures = 0;
+  std::size_t index = 0;
+  for (const auto& name : swept) {
+    for (const auto& spec : specs) {
+      for (const std::size_t threads : thread_counts) {
+        const fs::path run_json =
+            workdir / ("run_" + std::to_string(index) + ".json");
+        const fs::path run_log =
+            workdir / ("run_" + std::to_string(index) + ".log");
+        ++index;
+        std::string cmd = shell_quote((bindir / name).string()) + " --graph " +
+                          shell_quote(spec) + " --threads " +
+                          std::to_string(threads) + " --out " +
+                          shell_quote(run_json.string());
+        if (args.get_bool("smoke", false)) cmd += " --smoke";
+        if (args.has("trials")) cmd += " --trials " + std::to_string(trials);
+        cmd += " > " + shell_quote(run_log.string()) + " 2>&1";
+        std::cout << "cobra_sweep: [" << index << "/" << expected << "] "
+                  << name << "  graph=" << spec << "  threads=" << threads
+                  << std::endl;
+        const int rc = std::system(cmd.c_str());
+        const std::string json_text = read_file(run_json);
+        if (rc != 0 || !bench::looks_like_bench_json(json_text)) {
+          std::cerr << "cobra_sweep: run FAILED (rc " << rc << ", log "
+                    << run_log << ")\n";
+          ++failures;
+          continue;
+        }
+        runs.push_back({name, spec, threads, json_text});
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> context = {
+      {"graph", args.get("graph", "")},
+      {"threads", args.get("threads", "1")},
+  };
+  if (args.get_bool("smoke", false)) context.emplace_back("smoke", "1");
+  const std::string merged = bench::merge_sweep_json(runs, expected, context);
+  std::ofstream out(out_path);
+  out << merged;
+  out.flush();
+  if (!out) {
+    std::cerr << "cobra_sweep: cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "cobra_sweep: wrote " << out_path << " (" << runs.size() << "/"
+            << expected << " runs)\n";
+  if (failures != 0) {
+    // Keep the per-run logs — they are the only diagnostic for the
+    // failures just reported.
+    std::cerr << "cobra_sweep: " << failures
+              << " run(s) dropped from the merge (logs kept in " << workdir
+              << ")\n";
+    return 1;
+  }
+  if (!args.get_bool("keep-runs", false)) {
+    fs::remove_all(workdir, ec);  // best-effort cleanup of per-run files
+  }
+  return 0;
+}

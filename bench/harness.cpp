@@ -1,12 +1,16 @@
 #include "harness.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
+
+#include "sim/runner.hpp"
 
 namespace cobra::bench {
 
@@ -37,8 +41,52 @@ io::Args parse_bench_args_checked(int argc, const char* const* argv,
   return args;
 }
 
+std::string render_caps(const BenchCaps& caps,
+                        const std::vector<std::string>& extra) {
+  std::string graph;
+  switch (caps.graph) {
+    case BenchCaps::Graph::Effective: graph = "yes"; break;
+    case BenchCaps::Graph::Partial: graph = "partial"; break;
+    case BenchCaps::Graph::NoOp: graph = "no"; break;
+  }
+  std::string flags;
+  for (const auto& flag : extra) {
+    if (!flags.empty()) flags += ',';
+    flags += flag;
+  }
+  for (const auto& flag : shared_flags()) {
+    if (!flags.empty()) flags += ',';
+    flags += flag;
+  }
+  return "bench-caps: graph=" + graph + " flags=" + flags;
+}
+
+BenchCaps::Graph parse_caps_graph(const std::string& caps_line) {
+  const auto pos = caps_line.find("graph=");
+  if (pos == std::string::npos) return BenchCaps::Graph::Effective;
+  // Token ends at any whitespace (space, or the line's own newline when
+  // graph= is the last token), not just ' '.
+  const std::size_t begin = pos + 6;
+  std::size_t end = begin;
+  while (end < caps_line.size() &&
+         !std::isspace(static_cast<unsigned char>(caps_line[end]))) {
+    ++end;
+  }
+  const std::string value = caps_line.substr(begin, end - begin);
+  if (value == "no") return BenchCaps::Graph::NoOp;
+  if (value == "partial") return BenchCaps::Graph::Partial;
+  return BenchCaps::Graph::Effective;
+}
+
 io::Args parse_bench_args(int argc, const char* const* argv,
-                          std::vector<std::string> extra) {
+                          std::vector<std::string> extra,
+                          const BenchCaps& caps) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--caps") {
+      std::cout << render_caps(caps, extra) << "\n";
+      std::exit(0);
+    }
+  }
   try {
     io::Args args = parse_bench_args_checked(argc, argv, extra);
     if (args.has("threads")) {
@@ -179,13 +227,7 @@ std::string JsonReporter::number(double value) {
 
 stats::Summary measure(std::uint32_t trials, std::uint64_t seed,
                        const std::function<double(core::Engine&)>& trial) {
-  par::MonteCarloOptions opts;
-  opts.base_seed = seed;
-  opts.trials = trials;
-  const auto samples = par::run_trials(
-      par::global_pool(), opts,
-      [&](core::Engine& gen, std::uint32_t) { return trial(gen); });
-  return stats::summarize(samples);
+  return sim::replicate(trials, seed, trial);
 }
 
 std::string mean_ci(const stats::Summary& s, int precision) {

@@ -44,22 +44,54 @@ namespace cobra::bench {
 
 /// Shared bench flags. Every bench accepts:
 ///   --graph <spec>    construct the benched graph through the gen registry
-///                     (replaces the declared suite with that one case)
+///                     (replaces the declared suite with that one case).
+///                     NOT every bench is graph-driven — a bench whose
+///                     measurement ignores --graph declares that in its
+///                     BenchCaps (see below) instead of every sweep script
+///                     keeping a skip list
 ///   --out <path>      JSON output path (the BENCH_*.json trajectory)
 ///   --smoke           tiny sizes / few trials — the CI bit-rot guard; must
 ///                     finish in seconds and exercise the full code path
 ///   --threads <N>     worker count of the global pool (0 = hardware)
+///   --caps            print one machine-readable capability line and exit
+///                     0 (what cobra_sweep queries before sweeping)
 /// Bench-specific flags ride in `extra`. This variant throws
 /// std::invalid_argument on a malformed flag or a positional argument —
 /// the unit-testable path; mains use parse_bench_args below.
 io::Args parse_bench_args_checked(int argc, const char* const* argv,
                                   std::vector<std::string> extra = {});
 
+/// Per-bench capability metadata. The one consumer today is the sweep
+/// driver: `cobra_sweep` asks each bench `--caps` and skips spec sweeps
+/// over benches whose --graph does not drive the measurement (grid_drift
+/// walks the Z^d chain directly; pair_collision's exact D(GxG) tables keep
+/// tiny built-ins), replacing the hardcoded skip list such scripts used to
+/// need.
+struct BenchCaps {
+  enum class Graph {
+    Effective,  ///< --graph selects the benched graph (the default)
+    Partial,    ///< --graph drives only part of the tables
+    NoOp,       ///< --graph is accepted (shared CLI) but has no effect
+  };
+  Graph graph = Graph::Effective;
+};
+
+/// The `--caps` line: "bench-caps: graph=yes|partial|no flags=<csv>".
+[[nodiscard]] std::string render_caps(const BenchCaps& caps,
+                                      const std::vector<std::string>& extra);
+
+/// Parse the graph capability back out of a `--caps` line (the sweep
+/// driver's side); defaults to Effective when the token is absent (old
+/// binaries).
+[[nodiscard]] BenchCaps::Graph parse_caps_graph(const std::string& caps_line);
+
 /// CLI twin of parse_bench_args_checked: on error prints the message plus
 /// the GraphSpec grammar and exits 1 (a typo'd sweep script fails with
-/// usage text), and on success applies --threads to the global pool.
+/// usage text), on `--caps` prints render_caps(caps, extra) and exits 0,
+/// and on success applies --threads to the global pool.
 io::Args parse_bench_args(int argc, const char* const* argv,
-                          std::vector<std::string> extra = {});
+                          std::vector<std::string> extra = {},
+                          const BenchCaps& caps = {});
 
 /// Build --graph (or the fallback spec) through the registry, exiting with
 /// the grammar table on a bad spec (same contract as parse_bench_args).
@@ -116,8 +148,12 @@ class JsonReporter {
 
   [[nodiscard]] std::string render() const;
 
- private:
+  /// RFC 8259 string escaping (quotes, backslashes, control chars) —
+  /// public because the sweep merger embeds strings in JSON too and must
+  /// not re-implement a weaker version.
   static std::string quote(const std::string& s);
+
+ private:
   static std::string number(double value);
 
   std::string benchmark_;
@@ -126,7 +162,9 @@ class JsonReporter {
 };
 
 /// A Monte-Carlo measurement: run `trial` `trials` times on the global pool
-/// with deterministic seeding and summarize.
+/// with deterministic seeding and summarize. Thin wrapper over
+/// sim::Runner::replicate — the repetition/CI aggregation lives in the sim
+/// layer now; this name remains for the benches' convenience.
 stats::Summary measure(std::uint32_t trials, std::uint64_t seed,
                        const std::function<double(core::Engine&)>& trial);
 

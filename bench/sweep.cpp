@@ -1,0 +1,192 @@
+#include "sweep.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "harness.hpp"
+
+namespace cobra::bench {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// A comma segment starts a new spec when it names a family: "rreg:n=128"
+/// (has ':') or a bare "complete" (no '='); "d=4" continues the previous
+/// spec.
+bool starts_new_spec(const std::string& segment) {
+  return segment.find(':') != std::string::npos ||
+         segment.find('=') == std::string::npos;
+}
+
+/// JsonReporter's RFC 8259 escaping — one implementation for every string
+/// this library embeds in JSON.
+std::string quote(const std::string& s) { return JsonReporter::quote(s); }
+
+/// Re-indent a child JSON document by `indent` spaces (skipping the first
+/// line, which lands after "result": ).
+std::string indent_json(const std::string& text, const std::string& indent) {
+  std::string out;
+  out.reserve(text.size());
+  bool first = true;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    if (!first) out += "\n" + indent;
+    out += line;
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> split_spec_list(const std::string& text) {
+  std::vector<std::string> specs;
+  std::string current;
+  const auto flush = [&] {
+    const std::string spec = trim(current);
+    if (!spec.empty()) specs.push_back(spec);
+    current.clear();
+  };
+  std::string segment;
+  const auto handle_segment = [&] {
+    const std::string seg = trim(segment);
+    segment.clear();
+    if (seg.empty()) return;
+    if (!current.empty() && starts_new_spec(seg)) flush();
+    if (!current.empty()) current += ',';
+    current += seg;
+  };
+  for (const char c : text) {
+    if (c == ';') {
+      handle_segment();
+      flush();
+    } else if (c == ',') {
+      handle_segment();
+    } else {
+      segment += c;
+    }
+  }
+  handle_segment();
+  flush();
+  return specs;
+}
+
+std::vector<std::size_t> split_uint_list(const std::string& text) {
+  std::vector<std::size_t> values;
+  std::string token;
+  const auto flush = [&] {
+    const std::string t = trim(token);
+    token.clear();
+    if (t.empty()) return;
+    std::size_t consumed = 0;
+    unsigned long long value = 0;
+    try {
+      value = std::stoull(t, &consumed);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("sweep: bad count '" + t + "' in list");
+    }
+    if (consumed != t.size()) {
+      throw std::invalid_argument("sweep: bad count '" + t + "' in list");
+    }
+    values.push_back(static_cast<std::size_t>(value));
+  };
+  for (const char c : text) {
+    if (c == ',' || c == ';') {
+      flush();
+    } else {
+      token += c;
+    }
+  }
+  flush();
+  if (values.empty()) {
+    throw std::invalid_argument("sweep: empty count list");
+  }
+  return values;
+}
+
+bool looks_like_bench_json(const std::string& text) {
+  const std::string body = trim(text);
+  return !body.empty() && body.front() == '{' && body.back() == '}' &&
+         body.find("\"benchmark\"") != std::string::npos &&
+         body.find("\"records\"") != std::string::npos;
+}
+
+std::string merge_sweep_json(
+    const std::vector<SweepRun>& runs, std::size_t expected_runs,
+    const std::vector<std::pair<std::string, std::string>>& context) {
+  std::ostringstream os;
+  os << "{\n  \"sweep\": \"cobra_sweep\",\n  \"context\": {\n"
+     << "    \"expected_runs\": " << expected_runs;
+  for (const auto& [key, value] : context) {
+    os << ",\n    " << quote(key) << ": " << quote(value);
+  }
+  os << "\n  },\n  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const SweepRun& run = runs[i];
+    os << (i == 0 ? "\n" : ",\n") << "    { \"sweep_run_id\": " << i
+       << ", \"bench\": " << quote(run.bench)
+       << ", \"spec\": " << quote(run.spec) << ", \"threads\": " << run.threads
+       << ",\n      \"result\": " << indent_json(run.json_text, "      ")
+       << " }";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::size_t count_merged_runs(const std::string& merged_text) {
+  const std::string key = "\"sweep_run_id\"";
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = merged_text.find(key, pos)) != std::string::npos) {
+    ++count;
+    pos += key.size();
+  }
+  return count;
+}
+
+std::size_t expected_runs_of(const std::string& merged_text) {
+  const std::string key = "\"expected_runs\": ";
+  const std::size_t pos = merged_text.find(key);
+  if (pos == std::string::npos) return 0;
+  try {
+    return static_cast<std::size_t>(
+        std::stoull(merged_text.substr(pos + key.size())));
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+bool validate_merged_sweep(const std::string& merged_text, std::size_t expect,
+                           std::string* error) {
+  const auto set_error = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (merged_text.find("\"sweep\": \"cobra_sweep\"") == std::string::npos) {
+    return set_error("not a cobra_sweep merged file");
+  }
+  const std::size_t recorded = expected_runs_of(merged_text);
+  const std::size_t want = expect != 0 ? expect : recorded;
+  if (want == 0) return set_error("no expected_runs recorded or requested");
+  if (expect != 0 && recorded != expect) {
+    return set_error("file expected_runs " + std::to_string(recorded) +
+                     " != requested " + std::to_string(expect));
+  }
+  const std::size_t have = count_merged_runs(merged_text);
+  if (have != want) {
+    return set_error("merge holds " + std::to_string(have) + " runs, expected " +
+                     std::to_string(want) + " (dropped runs)");
+  }
+  return true;
+}
+
+}  // namespace cobra::bench

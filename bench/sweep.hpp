@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file sweep.hpp
+/// The sweep driver's pure logic, split out of the cobra_sweep binary so
+/// it is unit-testable: spec-list / thread-list parsing, the merged
+/// longitudinal JSON format, and its validation. cobra_sweep.cpp is the
+/// process-spawning shell around these.
+///
+/// Merged file schema (one file per sweep, the ROADMAP's "longitudinal
+/// JSON" replacing the shell-loop + smoke_*.json workflow):
+///
+///   {
+///     "sweep": "cobra_sweep",
+///     "context": { "expected_runs": N, ... },
+///     "runs": [
+///       { "sweep_run_id": 0, "bench": "...", "spec": "...",
+///         "threads": T, "result": { <the bench's own --out JSON> } },
+///       ...
+///     ]
+///   }
+///
+/// Each run's `result` is the child bench's JSON embedded verbatim (we
+/// wrote it, so it needs re-indenting, not re-parsing); `sweep_run_id` is
+/// the distinctive token validation counts, chosen because no bench JSON
+/// field uses that name.
+
+namespace cobra::bench {
+
+/// Split a --graph value into GraphSpecs. Separators: ';' always, and ','
+/// smartly — a comma-separated segment CONTINUES the previous spec when it
+/// is a bare key=value pair and STARTS a new spec when it names a family
+/// (contains ':' or has no '='). So the acceptance-style
+/// "rreg:n=128,d=4,seed=1,ring:n=64" is two specs, even though specs
+/// themselves contain commas. Whitespace around separators is trimmed;
+/// empty segments are dropped.
+[[nodiscard]] std::vector<std::string> split_spec_list(const std::string& text);
+
+/// Split "1,2,8" into thread counts. Throws std::invalid_argument on a
+/// non-numeric or empty entry.
+[[nodiscard]] std::vector<std::size_t> split_uint_list(const std::string& text);
+
+/// One completed child run.
+struct SweepRun {
+  std::string bench;
+  std::string spec;
+  std::size_t threads = 0;
+  std::string json_text;  ///< the child's --out file, verbatim
+};
+
+/// Cheap structural check that `text` is a bench JSON record (JsonReporter
+/// schema) — an object with "benchmark" and "records" keys. Guards the
+/// merge against embedding a truncated or empty child file.
+[[nodiscard]] bool looks_like_bench_json(const std::string& text);
+
+/// Render the merged longitudinal JSON. `context` entries are emitted as
+/// raw key -> quoted-string pairs next to the "expected_runs" count, which
+/// is what validate_merged_sweep later re-checks.
+[[nodiscard]] std::string merge_sweep_json(
+    const std::vector<SweepRun>& runs, std::size_t expected_runs,
+    const std::vector<std::pair<std::string, std::string>>& context);
+
+/// Count the runs embedded in a merged file (occurrences of the
+/// "sweep_run_id" key).
+[[nodiscard]] std::size_t count_merged_runs(const std::string& merged_text);
+
+/// Extract the recorded "expected_runs" count (0 when absent/unparsable).
+[[nodiscard]] std::size_t expected_runs_of(const std::string& merged_text);
+
+/// True when the merged file holds exactly the runs it promises —
+/// `expect` == 0 trusts the file's own expected_runs. The
+/// `cobra_sweep --validate` ctest and the CI sweep-smoke step both call
+/// this; a dropped run (crashed child, unwritable file) fails it.
+[[nodiscard]] bool validate_merged_sweep(const std::string& merged_text,
+                                         std::size_t expect,
+                                         std::string* error);
+
+}  // namespace cobra::bench

@@ -30,9 +30,10 @@
 #include <string>
 
 #include "core/cobra_walk.hpp"
-#include "core/cover_time.hpp"
 #include "core/gossip.hpp"
-#include "core/trajectory.hpp"
+#include "core/parallel_walks.hpp"
+#include "core/random_walk.hpp"
+#include "core/walt.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "graph/spectral.hpp"
@@ -41,6 +42,8 @@
 #include "io/graph_io.hpp"
 #include "io/table.hpp"
 #include "parallel/monte_carlo.hpp"
+#include "sim/observers.hpp"
+#include "sim/runner.hpp"
 #include "stats/histogram.hpp"
 #include "stats/sequential.hpp"
 #include "stats/summary.hpp"
@@ -105,28 +108,30 @@ graph::Graph build_family(const std::string& family, std::uint32_t n,
   throw std::invalid_argument("unknown family: " + family);
 }
 
+/// Every process runs to cover through the one shared sim::Runner — adding
+/// a process here is "construct it, hand it to cover_rounds", nothing else.
 double run_process(const std::string& process, const graph::Graph& g,
                    std::uint32_t k, core::Engine& gen) {
   if (process == "cobra") {
-    return static_cast<double>(core::cobra_cover(g, 0, k, gen).steps);
+    return sim::cover_rounds<core::CobraWalk>(gen, g, 0, k);
   }
   if (process == "rw") {
-    return static_cast<double>(core::random_walk_cover(g, 0, gen).steps);
+    return sim::cover_rounds<core::RandomWalk>(gen, g, 0);
   }
   if (process == "gossip") {
-    return static_cast<double>(core::gossip_push_cover(g, 0, gen).steps);
+    return sim::cover_rounds<core::Gossip>(gen, g, 0, core::GossipMode::Push);
   }
   if (process == "pushpull") {
     core::Gossip gossip(g, 0, core::GossipMode::PushPull);
-    return static_cast<double>(core::run_to_cover(gossip, gen, 1u << 26).steps);
+    return static_cast<double>(sim::run_cover(gossip, gen, 1u << 26).rounds);
   }
   if (process == "parallel") {
-    return static_cast<double>(core::parallel_walks_cover(g, 0, k, gen).steps);
+    return sim::cover_rounds<core::ParallelWalks>(gen, g, 0, k);
   }
   if (process == "walt") {
-    return static_cast<double>(
-        core::walt_cover(g, 0, std::max(1u, g.num_vertices() / 2), true, gen)
-            .steps);
+    return sim::cover_rounds<core::Walt>(gen, g, 0,
+                                         std::max(1u, g.num_vertices() / 2),
+                                         true);
   }
   throw std::invalid_argument("unknown process: " + process);
 }
@@ -223,21 +228,25 @@ int main(int argc, char** argv) {
 
   if (curve && process == "cobra") {
     std::cout << "coverage curve of a single run:\n";
+    // One Runner call: the cover stop rule supplies the covered count,
+    // the growth observer |S_t|.
     core::Engine gen(seed);
     core::CobraWalk walk(g, 0, k);
-    core::TrajectoryRecorder rec(g.num_vertices());
-    rec.record(walk);
-    while (!rec.complete()) {
-      walk.step(gen);
-      rec.record(walk);
-    }
+    sim::CoverStop cover;
+    sim::GrowthCurve growth;
+    auto covered = sim::record_of([&cover](const core::CobraWalk&) {
+      return static_cast<double>(cover.covered_count());
+    });
+    sim::Runner().run(walk, gen, cover, growth, covered);
     io::Table tcurve({"round", "|S_t|", "covered"});
-    const auto& points = rec.points();
+    const auto& sizes = growth.sizes();
     for (std::size_t p = 0; p <= 10; ++p) {
-      const auto& pt = points[p * (points.size() - 1) / 10];
-      tcurve.add_row({io::Table::fmt_int(static_cast<long long>(pt.round)),
-                      io::Table::fmt_int(pt.active_size),
-                      io::Table::fmt_int(pt.covered)});
+      const std::size_t round = p * (sizes.size() - 1) / 10;
+      tcurve.add_row(
+          {io::Table::fmt_int(static_cast<long long>(round)),
+           io::Table::fmt_int(static_cast<long long>(sizes[round])),
+           io::Table::fmt_int(
+               static_cast<long long>(covered.values()[round]))});
     }
     std::cout << tcurve;
   }

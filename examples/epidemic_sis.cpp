@@ -17,6 +17,7 @@
 #include "graph/generators.hpp"
 #include "io/args.hpp"
 #include "io/table.hpp"
+#include "sim/runner.hpp"
 #include "stats/histogram.hpp"
 
 namespace {
@@ -28,7 +29,12 @@ void run_outbreak(const cobra::graph::Graph& g, const std::string& label,
   core::Engine gen(seed);
   core::SisEpidemic epi(g, /*patient_zero=*/0, contacts);
   const std::uint64_t horizon = 64ull * g.num_vertices();
-  epi.run_until_all_exposed(gen, horizon);
+  // SIS models the sim::Process concept, so the outbreak runs through the
+  // shared Runner under a process-specific stop rule instead of its own
+  // loop method.
+  sim::Runner(horizon).run(
+      epi, gen,
+      sim::until([](const core::SisEpidemic& e) { return e.everyone_exposed(); }));
 
   std::cout << "=== " << label << " ===\n";
   std::cout << "n = " << g.num_vertices() << ", contacts/round = " << contacts

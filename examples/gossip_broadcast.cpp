@@ -18,12 +18,13 @@
 #include <string>
 #include <vector>
 
-#include "core/cover_time.hpp"
+#include "core/cobra_walk.hpp"
 #include "core/gossip.hpp"
+#include "core/parallel_walks.hpp"
 #include "graph/generators.hpp"
 #include "io/args.hpp"
 #include "io/table.hpp"
-#include "parallel/monte_carlo.hpp"
+#include "sim/runner.hpp"
 #include "stats/summary.hpp"
 
 int main(int argc, char** argv) {
@@ -56,24 +57,26 @@ int main(int argc, char** argv) {
     std::string name;
     std::function<double(const graph::Graph&, core::Engine&)> run;
   };
+  // Every protocol is "construct a process, run it to cover through the
+  // shared sim::Runner" — the one driver every walk process plugs into.
   const std::vector<Protocol> protocols = {
       {"2-cobra walk",
        [](const graph::Graph& g, core::Engine& gen) {
-         return static_cast<double>(core::cobra_cover(g, 0, 2, gen).steps);
+         return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
        }},
       {"push gossip",
        [](const graph::Graph& g, core::Engine& gen) {
-         return static_cast<double>(core::gossip_push_cover(g, 0, gen).steps);
+         return sim::cover_rounds<core::Gossip>(gen, g, 0,
+                                                core::GossipMode::Push);
        }},
       {"push-pull gossip",
        [](const graph::Graph& g, core::Engine& gen) {
          core::Gossip gossip(g, 0, core::GossipMode::PushPull);
-         return static_cast<double>(core::run_to_cover(gossip, gen, 1u << 26).steps);
+         return static_cast<double>(sim::run_cover(gossip, gen, 1u << 26).rounds);
        }},
       {"8 parallel walks",
        [](const graph::Graph& g, core::Engine& gen) {
-         return static_cast<double>(
-             core::parallel_walks_cover(g, 0, 8, gen).steps);
+         return sim::cover_rounds<core::ParallelWalks>(gen, g, 0, 8);
        }},
   };
 
@@ -83,15 +86,9 @@ int main(int argc, char** argv) {
     io::Table table({"protocol", "mean rounds", "95% CI", "median"});
     table.set_align(0, io::Align::Left);
     for (const Protocol& proto : protocols) {
-      par::MonteCarloOptions opts;
-      opts.base_seed = seed ^ std::hash<std::string>{}(net.name + proto.name);
-      opts.trials = trials;
-      const auto samples = par::run_trials(
-          par::global_pool(), opts,
-          [&](core::Engine& gen, std::uint32_t) {
-            return proto.run(net.graph, gen);
-          });
-      const stats::Summary s = stats::summarize(samples);
+      const stats::Summary s = sim::replicate(
+          trials, seed ^ std::hash<std::string>{}(net.name + proto.name),
+          [&](core::Engine& gen) { return proto.run(net.graph, gen); });
       table.add_row({proto.name, io::Table::fmt(s.mean, 1),
                      "+-" + io::Table::fmt(s.ci95_half, 1),
                      io::Table::fmt(s.median, 1)});

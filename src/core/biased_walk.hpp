@@ -54,6 +54,9 @@ class BiasedWalk {
   [[nodiscard]] BiasSchedule schedule() const noexcept { return schedule_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
+  /// State-space size (the sim::Process contract).
+  [[nodiscard]] std::uint32_t n() const noexcept { return g_->num_vertices(); }
+
   /// Number of rounds in which the controller (not the uniform choice)
   /// decided the move.
   [[nodiscard]] std::uint64_t controlled_moves() const noexcept {

@@ -45,6 +45,9 @@ class CoalescingWalks {
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
+  /// State-space size (the sim::Process contract).
+  [[nodiscard]] std::uint32_t n() const noexcept { return g_->num_vertices(); }
+
   /// Total merges since construction/reset.
   [[nodiscard]] std::uint64_t merges() const noexcept { return merges_; }
 

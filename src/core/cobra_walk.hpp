@@ -64,6 +64,9 @@ class CobraWalk {
   [[nodiscard]] std::uint32_t branching() const noexcept { return k_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
+  /// State-space size (the sim::Process contract).
+  [[nodiscard]] std::uint32_t n() const noexcept { return g_->num_vertices(); }
+
   /// Total neighbor samples drawn since the last reset (k per active vertex
   /// per round) — the work measure reported by the throughput bench.
   [[nodiscard]] std::uint64_t samples_drawn() const noexcept { return samples_; }

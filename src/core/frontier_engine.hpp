@@ -105,6 +105,12 @@ struct FrontierOptions {
   double dense_alpha = 256.0;
   /// Representation override for tests and experiments.
   FrontierMode mode = FrontierMode::Auto;
+  /// Spread the dense rounds' O(n/64) fixed costs (bitmap clear,
+  /// span-overload materialization) over the round's pool once the bitmap
+  /// outgrows cache scale. Value-independent work, so this affects SPEED
+  /// only, never results; off = the serial clear/decode (tests pin it to
+  /// isolate the sampling path).
+  bool parallel_dense_ops = true;
 };
 
 namespace detail {
@@ -352,6 +358,19 @@ class FrontierEngine {
 
   void ensure_workers(std::size_t workers);
 
+  /// Zero `bits` (sized to num_words()) — in parallel over `pool` once the
+  /// bitmap outgrows cache scale (the dense rounds' fixed O(n/64) cost the
+  /// ROADMAP called out), serially below that or with parallel_dense_ops
+  /// off.
+  void clear_words(std::vector<std::uint64_t>& bits, par::ThreadPool* pool);
+
+  /// Decode `words` (holding `count` set bits) into `out` ascending — the
+  /// span-overload output path. Parallel two-pass (per-range popcount,
+  /// prefix offsets, in-place range decode) on large bitmaps; identical
+  /// output to the serial decode by construction.
+  void materialize_bits(std::span<const std::uint64_t> words,
+                        std::size_t count, std::vector<Vertex>& out);
+
   /// Active vertices of vertex-range chunk c, ascending. Sparse views
   /// return a subspan located by binary search; dense views decode the
   /// chunk's words into `scratch`.
@@ -524,8 +543,8 @@ void FrontierEngine::expand_dense(const FrontierView& in,
   const std::size_t span = chunk_span();
   const std::size_t n_chunks =
       (static_cast<std::size_t>(g_->num_vertices()) + span - 1) / span;
-  out_bits.assign(num_words(), 0);  // the round's one O(n/64) clear
   par::ThreadPool* pool = pick_pool(in.size());
+  clear_words(out_bits, pool);  // the round's one O(n/64) clear
 
   if (pool == nullptr || n_chunks <= 1) {
     ++serial_rounds_;
@@ -612,8 +631,7 @@ void FrontierEngine::expand(std::span<const Vertex> frontier,
   if (choose_dense(in.size())) {
     std::size_t count = 0;
     expand_dense(in, scratch_bits_, count, round_seed, sampler);
-    next.reserve(count);
-    detail::decode_bits(scratch_bits_, 0, scratch_bits_.size(), next);
+    materialize_bits(scratch_bits_, count, next);
   } else {
     expand_sparse(in, next, round_seed, sampler);
   }

@@ -85,6 +85,9 @@ class GeneralizedCobraWalk {
   [[nodiscard]] bool extinct() const noexcept { return frontier_.empty(); }
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+  /// State-space size (the sim::Process contract).
+  [[nodiscard]] std::uint32_t n() const noexcept { return g_->num_vertices(); }
   [[nodiscard]] std::uint64_t samples_drawn() const noexcept { return samples_; }
 
   /// The underlying step engine (chunking / pool / threshold knobs).

@@ -76,6 +76,9 @@ class Gossip {
   [[nodiscard]] GossipMode mode() const noexcept { return mode_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
+  /// State-space size (the sim::Process contract).
+  [[nodiscard]] std::uint32_t n() const noexcept { return g_->num_vertices(); }
+
   /// The underlying step engine (chunking / pool / threshold knobs).
   [[nodiscard]] FrontierEngine& engine() noexcept { return engine_; }
 

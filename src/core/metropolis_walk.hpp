@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/types.hpp"
@@ -65,6 +66,12 @@ class MetropolisWalk {
   [[nodiscard]] Vertex target() const noexcept { return target_; }
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+
+  /// Singleton active set + state-space size (the sim::Process contract).
+  [[nodiscard]] std::span<const Vertex> active() const noexcept {
+    return {&position_, 1};
+  }
+  [[nodiscard]] std::uint32_t n() const noexcept { return g_->num_vertices(); }
 
   /// Mean return time to the target over `excursions` completed excursions
   /// starting at the target. (One excursion = leave, come back.)

@@ -39,6 +39,9 @@ class ParallelWalks {
   }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
+  /// State-space size (the sim::Process contract).
+  [[nodiscard]] std::uint32_t n() const noexcept { return g_->num_vertices(); }
+
  private:
   const Graph* g_;
   std::vector<Vertex> positions_;

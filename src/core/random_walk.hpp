@@ -33,6 +33,9 @@ class RandomWalk {
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
   [[nodiscard]] double laziness() const noexcept { return laziness_; }
 
+  /// State-space size (the sim::Process contract).
+  [[nodiscard]] std::uint32_t n() const noexcept { return g_->num_vertices(); }
+
  private:
   const Graph* g_;
   Vertex position_;

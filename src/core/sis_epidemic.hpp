@@ -44,6 +44,12 @@ class SisEpidemic {
   [[nodiscard]] std::span<const Vertex> infected() const noexcept {
     return walk_.active();
   }
+  /// The infected set under its process name (the sim::Process contract:
+  /// infected at time t == the cobra walk's active set S_t).
+  [[nodiscard]] std::span<const Vertex> active() const noexcept {
+    return walk_.active();
+  }
+  [[nodiscard]] std::uint32_t n() const noexcept { return walk_.n(); }
   [[nodiscard]] std::uint32_t prevalence() const noexcept {
     return static_cast<std::uint32_t>(walk_.active().size());
   }

@@ -60,6 +60,9 @@ class Walt {
   [[nodiscard]] bool lazy() const noexcept { return lazy_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
 
+  /// State-space size (the sim::Process contract).
+  [[nodiscard]] std::uint32_t n() const noexcept { return g_->num_vertices(); }
+
   /// Number of rounds skipped by laziness since the last reset.
   [[nodiscard]] std::uint64_t lazy_skips() const noexcept { return lazy_skips_; }
 

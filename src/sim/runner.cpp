@@ -1,0 +1,24 @@
+#include "sim/runner.hpp"
+
+#include "parallel/monte_carlo.hpp"
+
+namespace cobra::sim {
+
+stats::Summary Runner::replicate(
+    std::uint32_t trials, std::uint64_t seed,
+    const std::function<double(core::Engine&)>& trial) const {
+  par::MonteCarloOptions opts;
+  opts.base_seed = seed;
+  opts.trials = trials;
+  const auto samples = par::run_trials(
+      par::global_pool(), opts,
+      [&](core::Engine& gen, std::uint32_t) { return trial(gen); });
+  return stats::summarize(samples);
+}
+
+stats::Summary replicate(std::uint32_t trials, std::uint64_t seed,
+                         const std::function<double(core::Engine&)>& trial) {
+  return Runner().replicate(trials, seed, trial);
+}
+
+}  // namespace cobra::sim

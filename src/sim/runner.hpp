@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "core/cover_time.hpp"
+#include "core/types.hpp"
+#include "sim/observers.hpp"
+#include "sim/process.hpp"
+#include "sim/stop.hpp"
+#include "stats/summary.hpp"
+
+/// \file runner.hpp
+/// sim::Runner — THE step loop. Every experiment in the paper is "run a
+/// process on a graph until a stopping condition, recording a statistic";
+/// the Runner is that sentence as one reusable function:
+///
+///   core::CobraWalk walk(g, 0, 2);
+///   sim::CoverStop cover;
+///   const auto r = sim::Runner().run(walk, gen, cover);
+///   // r.rounds = cover time, r.stopped = covered within budget
+///
+/// with observers riding along:
+///
+///   sim::GrowthCurve curve;
+///   sim::FirstVisitTimes visits;
+///   sim::Runner().run(walk, gen, cover, curve, visits);
+///
+/// Hooks are resolved structurally at compile time (if constexpr), so a
+/// zero-observer run compiles to the bare while-step loop — measurement is
+/// opt-in, never a tax. The stop rule receives each round before the
+/// observers do.
+///
+/// Budget: every run carries a max-round budget (explicit, or
+/// core::default_step_budget(p.n()) when constructed with 0) so a bugged
+/// stop condition terminates instead of spinning; `stopped == false` means
+/// the budget ran out, mirroring core::CoverResult::covered.
+///
+/// Replication: `Runner::replicate` is the repetition + CI aggregation the
+/// benches used to copy around — `trials` independent trials on the global
+/// pool under the par::monte_carlo determinism contract (trial i's engine
+/// is seeded derive_seed(seed, i), bit-identical at any thread count),
+/// summarized to a stats::Summary. `bench::measure` is now a thin wrapper
+/// over it.
+
+namespace cobra::sim {
+
+/// Outcome of one run.
+struct RunResult {
+  std::uint64_t rounds = 0;  ///< steps taken in this run
+  bool stopped = false;      ///< stop rule fired (false = budget exhausted)
+};
+
+class Runner {
+ public:
+  /// `max_rounds` = 0 derives the budget per run from the process size
+  /// (core::default_step_budget), generous enough that hitting it signals
+  /// a real bug or an impossible stop condition.
+  constexpr Runner() = default;
+  constexpr explicit Runner(std::uint64_t max_rounds)
+      : max_rounds_(max_rounds) {}
+
+  /// Drive `p` until `stop` fires or the budget runs out, feeding every
+  /// round (including the initial state) to the stop rule and observers.
+  /// `run` is const and keeps all mutable state in its arguments, so one
+  /// Runner value is safely shared across replicate's pool workers.
+  template <Process P, typename Stop, typename... Obs>
+  RunResult run(P& p, core::Engine& gen, Stop&& stop, Obs&&... obs) const {
+    const std::uint64_t budget =
+        max_rounds_ != 0
+            ? max_rounds_
+            : core::default_step_budget(static_cast<std::uint32_t>(p.n()));
+    start_hook(stop, p);
+    (start_hook(obs, p), ...);
+    RunResult result;
+    while (!stop.done(p)) {
+      if (result.rounds >= budget) return result;  // stopped stays false
+      p.step(gen);
+      ++result.rounds;
+      observe_hook(stop, p);
+      (observe_hook(obs, p), ...);
+    }
+    result.stopped = true;
+    return result;
+  }
+
+  /// Run `trial` `trials` times on the global pool (deterministic seeding
+  /// per the monte_carlo contract) and summarize mean/CI/quantiles.
+  [[nodiscard]] stats::Summary replicate(
+      std::uint32_t trials, std::uint64_t seed,
+      const std::function<double(core::Engine&)>& trial) const;
+
+  [[nodiscard]] std::uint64_t max_rounds() const noexcept {
+    return max_rounds_;
+  }
+
+ private:
+  template <typename Hook, Process P>
+  static void start_hook(Hook& h, const P& p) {
+    if constexpr (requires { h.start(p); }) h.start(p);
+  }
+  template <typename Hook, Process P>
+  static void observe_hook(Hook& h, const P& p) {
+    if constexpr (requires { h.observe(p); }) h.observe(p);
+  }
+
+  std::uint64_t max_rounds_ = 0;
+};
+
+/// Free-function twin of Runner::replicate for call sites that don't need
+/// a budget (the common bench pattern).
+[[nodiscard]] stats::Summary replicate(
+    std::uint32_t trials, std::uint64_t seed,
+    const std::function<double(core::Engine&)>& trial);
+
+/// One-shot: run to cover, default budget when `max_rounds` == 0. The
+/// generic replacement for the per-process core::*_cover one-shots.
+template <Process P>
+RunResult run_cover(P& p, core::Engine& gen, std::uint64_t max_rounds = 0) {
+  CoverStop cover;
+  return Runner(max_rounds).run(p, gen, cover);
+}
+
+/// One-shot: run until `target` is active, default budget when
+/// `max_rounds` == 0.
+template <Process P>
+RunResult run_hit(P& p, core::Vertex target, core::Engine& gen,
+                  std::uint64_t max_rounds = 0) {
+  HitTarget hit(target);
+  return Runner(max_rounds).run(p, gen, hit);
+}
+
+/// Construct a fresh `P` from `args` and run it to cover — the dominant
+/// replicate-trial body across the benches, shared here so every bench
+/// doesn't re-spell the same two-line lambda:
+///
+///   sim::replicate(trials, seed, [&](core::Engine& gen) {
+///     return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
+///   });
+template <typename P, typename... Args>
+  requires Process<P>
+double cover_rounds(core::Engine& gen, Args&&... args) {
+  P process(std::forward<Args>(args)...);
+  return static_cast<double>(run_cover(process, gen).rounds);
+}
+
+/// Construct-and-run twin for hitting times (`target` first, then the
+/// process's constructor arguments).
+template <typename P, typename... Args>
+  requires Process<P>
+double hit_rounds(core::Engine& gen, core::Vertex target, Args&&... args) {
+  P process(std::forward<Args>(args)...);
+  return static_cast<double>(run_hit(process, target, gen).rounds);
+}
+
+}  // namespace cobra::sim

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <tuple>
+#include <utility>
+
+#include "core/cover_time.hpp"
+#include "core/types.hpp"
+#include "sim/process.hpp"
+
+/// \file stop.hpp
+/// Stop rules for sim::Runner — the "until" half of every experiment
+/// ("run until covered / until the target is hit / for T rounds / until
+/// extinction"). A stop rule is any type providing
+///
+///   bool done(const P&)      — required; true ends the run
+///   void start(const P&)     — optional; called once with the round-0 state
+///   void observe(const P&)   — optional; called after every step
+///
+/// detected structurally by the Runner (no virtual dispatch, nothing paid
+/// for hooks a rule doesn't declare). Rules are plain values the caller
+/// owns, so a bench can interrogate them after the run (covered count, hit
+/// round, ...). Compose with `any_of(a, b, ...)`.
+
+namespace cobra::sim {
+
+/// Stop when every vertex of the graph has been active at least once —
+/// the paper's cover time. Owns the CoverageTracker (sized lazily from
+/// `p.n()` at start, so one rule value works for any process).
+class CoverStop {
+ public:
+  template <Process P>
+  void start(const P& p) {
+    tracker_.emplace(static_cast<std::uint32_t>(p.n()));
+    tracker_->absorb(p.active());
+  }
+
+  template <Process P>
+  void observe(const P& p) {
+    tracker_->absorb(p.active());
+  }
+
+  template <Process P>
+  [[nodiscard]] bool done(const P&) const {
+    return tracker_->complete();
+  }
+
+  [[nodiscard]] std::uint32_t covered_count() const {
+    return tracker_ ? tracker_->covered_count() : 0;
+  }
+  [[nodiscard]] bool complete() const {
+    return tracker_ && tracker_->complete();
+  }
+  [[nodiscard]] double fraction() const {
+    return tracker_ ? tracker_->fraction() : 0.0;
+  }
+
+ private:
+  std::optional<core::CoverageTracker> tracker_;
+};
+
+/// Stop when `target` first appears in the active set (a target active at
+/// round 0 stops immediately with 0 rounds — the hitting-time convention).
+class HitTarget {
+ public:
+  explicit HitTarget(core::Vertex target) : target_(target) {}
+
+  template <Process P>
+  void start(const P& p) {
+    hit_ = false;
+    scan(p);
+  }
+
+  template <Process P>
+  void observe(const P& p) {
+    if (!hit_) scan(p);
+  }
+
+  template <Process P>
+  [[nodiscard]] bool done(const P&) const noexcept {
+    return hit_;
+  }
+
+  [[nodiscard]] core::Vertex target() const noexcept { return target_; }
+  [[nodiscard]] bool hit() const noexcept { return hit_; }
+
+ private:
+  template <Process P>
+  void scan(const P& p) {
+    const auto active = p.active();
+    hit_ = std::find(active.begin(), active.end(), target_) != active.end();
+  }
+
+  core::Vertex target_;
+  bool hit_ = false;
+};
+
+/// Stop after exactly `rounds` steps (counted from the start of THIS run,
+/// not from the process's construction) — the fixed-horizon schedule of
+/// growth-curve and occupancy measurements.
+class FixedRounds {
+ public:
+  explicit FixedRounds(std::uint64_t rounds) : rounds_(rounds) {}
+
+  template <Process P>
+  void start(const P& p) {
+    start_round_ = p.round();
+  }
+
+  template <Process P>
+  [[nodiscard]] bool done(const P& p) const noexcept {
+    return p.round() - start_round_ >= rounds_;
+  }
+
+ private:
+  std::uint64_t rounds_;
+  std::uint64_t start_round_ = 0;
+};
+
+/// Stop when the active set is empty — extinction, reachable only for
+/// processes that can lose their whole population (faulty branching
+/// schedules, coalescing walks never reach 0). O(1) per round via
+/// active_size.
+class Extinction {
+ public:
+  template <Process P>
+  [[nodiscard]] bool done(const P& p) const {
+    return active_size(p) == 0;
+  }
+};
+
+/// Stop when `fn(process)` holds — the escape hatch for process-specific
+/// conditions (SIS "everyone exposed", walker count thresholds, ...).
+template <typename F>
+class Until {
+ public:
+  explicit Until(F fn) : fn_(std::move(fn)) {}
+
+  template <Process P>
+  [[nodiscard]] bool done(const P& p) const {
+    return fn_(p);
+  }
+
+ private:
+  F fn_;
+};
+
+template <typename F>
+[[nodiscard]] Until<F> until(F fn) {
+  return Until<F>(std::move(fn));
+}
+
+/// Disjunction of stop rules, held by reference: the run ends when ANY
+/// member rule fires, and the caller can still interrogate each rule
+/// afterwards (e.g. CoverStop::complete() distinguishes "covered" from
+/// "went extinct first"). All members receive start/observe hooks.
+template <typename... Rules>
+class AnyOf {
+ public:
+  explicit AnyOf(Rules&... rules) : rules_(rules...) {}
+
+  template <Process P>
+  void start(const P& p) {
+    std::apply([&](Rules&... r) { (detail_start(r, p), ...); }, rules_);
+  }
+
+  template <Process P>
+  void observe(const P& p) {
+    std::apply([&](Rules&... r) { (detail_observe(r, p), ...); }, rules_);
+  }
+
+  template <Process P>
+  [[nodiscard]] bool done(const P& p) const {
+    return std::apply([&](const Rules&... r) { return (r.done(p) || ...); },
+                      rules_);
+  }
+
+ private:
+  template <typename R, Process P>
+  static void detail_start(R& rule, const P& p) {
+    if constexpr (requires { rule.start(p); }) rule.start(p);
+  }
+  template <typename R, Process P>
+  static void detail_observe(R& rule, const P& p) {
+    if constexpr (requires { rule.observe(p); }) rule.observe(p);
+  }
+
+  std::tuple<Rules&...> rules_;
+};
+
+template <typename... Rules>
+[[nodiscard]] AnyOf<Rules...> any_of(Rules&... rules) {
+  return AnyOf<Rules...>(rules...);
+}
+
+}  // namespace cobra::sim

@@ -1,0 +1,126 @@
+// Unit tests for the sweep driver's pure logic (bench/sweep.{hpp,cpp}):
+// spec-list smart splitting, thread-list parsing, the merged longitudinal
+// JSON format, and its drop detection — plus the --caps metadata parsing
+// the driver uses to skip graph-no-op benches.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sweep.hpp"
+
+#include "harness.hpp"
+
+namespace {
+
+using namespace cobra;
+
+TEST(SweepSplit, SemicolonsAlwaysSeparate) {
+  const auto specs = bench::split_spec_list("ring:n=64; rreg:n=128,d=4 ;");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0], "ring:n=64");
+  EXPECT_EQ(specs[1], "rreg:n=128,d=4");
+}
+
+TEST(SweepSplit, SmartCommaSplitKeepsSpecParamsTogether) {
+  // The acceptance-criteria shape: one comma list, two specs, each spec
+  // itself containing commas.
+  const auto specs = bench::split_spec_list(
+      "rreg:n=128,d=6,seed=5,rreg:n=256,d=6,seed=5");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0], "rreg:n=128,d=6,seed=5");
+  EXPECT_EQ(specs[1], "rreg:n=256,d=6,seed=5");
+}
+
+TEST(SweepSplit, BareFamilyStartsANewSpec) {
+  const auto specs = bench::split_spec_list("complete:n=8,hypercube:dims=3");
+  ASSERT_EQ(specs.size(), 2u);
+  const auto mixed = bench::split_spec_list("gnp:n=2^10,avg_deg=8,lcc=1,ring:n=64");
+  ASSERT_EQ(mixed.size(), 2u);
+  EXPECT_EQ(mixed[0], "gnp:n=2^10,avg_deg=8,lcc=1");
+  EXPECT_EQ(mixed[1], "ring:n=64");
+}
+
+TEST(SweepSplit, SingleSpecPassesThrough) {
+  const auto specs = bench::split_spec_list("torus:side=16,dims=2");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0], "torus:side=16,dims=2");
+}
+
+TEST(SweepSplit, UintListParsesAndRejects) {
+  EXPECT_EQ(bench::split_uint_list("1,2,8"),
+            (std::vector<std::size_t>{1, 2, 8}));
+  EXPECT_THROW(bench::split_uint_list("1,x"), std::invalid_argument);
+  EXPECT_THROW(bench::split_uint_list(""), std::invalid_argument);
+}
+
+TEST(SweepMerge, RoundTripCountsAndValidates) {
+  const std::string child =
+      "{\n  \"benchmark\": \"demo\",\n  \"context\": {},\n"
+      "  \"records\": [\n    { \"name\": \"r\" }\n  ]\n}\n";
+  ASSERT_TRUE(bench::looks_like_bench_json(child));
+  std::vector<bench::SweepRun> runs = {
+      {"bench_demo", "ring:n=64", 1, child},
+      {"bench_demo", "ring:n=64", 2, child},
+      {"bench_demo", "rreg:n=128,d=4", 1, child},
+      {"bench_demo", "rreg:n=128,d=4", 2, child},
+  };
+  const std::string merged =
+      bench::merge_sweep_json(runs, 4, {{"graph", "ring:n=64,rreg:n=128,d=4"}});
+  EXPECT_EQ(bench::count_merged_runs(merged), 4u);
+  EXPECT_EQ(bench::expected_runs_of(merged), 4u);
+  std::string error;
+  EXPECT_TRUE(bench::validate_merged_sweep(merged, 0, &error)) << error;
+  EXPECT_TRUE(bench::validate_merged_sweep(merged, 4, &error)) << error;
+  // Wrong expectation fails loudly.
+  EXPECT_FALSE(bench::validate_merged_sweep(merged, 3, &error));
+}
+
+TEST(SweepMerge, DroppedRunFailsValidation) {
+  const std::string child =
+      "{ \"benchmark\": \"demo\", \"records\": [] }";
+  std::vector<bench::SweepRun> runs = {{"bench_demo", "ring:n=64", 1, child}};
+  // Promised 2, delivered 1 — the failure mode the CI step must catch.
+  const std::string merged = bench::merge_sweep_json(runs, 2, {});
+  std::string error;
+  EXPECT_FALSE(bench::validate_merged_sweep(merged, 0, &error));
+  EXPECT_NE(error.find("dropped"), std::string::npos);
+}
+
+TEST(SweepMerge, RejectsNonBenchJson) {
+  EXPECT_FALSE(bench::looks_like_bench_json(""));
+  EXPECT_FALSE(bench::looks_like_bench_json("{}"));
+  EXPECT_FALSE(bench::looks_like_bench_json("not json at all"));
+  EXPECT_FALSE(bench::looks_like_bench_json("{ \"benchmark\": \"x\" "));
+}
+
+TEST(Caps, RenderAndParseRoundTrip) {
+  bench::BenchCaps caps;
+  EXPECT_EQ(bench::parse_caps_graph(bench::render_caps(caps, {"trials"})),
+            bench::BenchCaps::Graph::Effective);
+  caps.graph = bench::BenchCaps::Graph::NoOp;
+  const std::string line = bench::render_caps(caps, {"trials"});
+  EXPECT_NE(line.find("graph=no"), std::string::npos);
+  EXPECT_NE(line.find("trials"), std::string::npos);
+  EXPECT_EQ(bench::parse_caps_graph(line), bench::BenchCaps::Graph::NoOp);
+  caps.graph = bench::BenchCaps::Graph::Partial;
+  EXPECT_EQ(bench::parse_caps_graph(bench::render_caps(caps, {})),
+            bench::BenchCaps::Graph::Partial);
+}
+
+TEST(Caps, MissingTokenDefaultsToEffective) {
+  EXPECT_EQ(bench::parse_caps_graph("whatever"),
+            bench::BenchCaps::Graph::Effective);
+}
+
+TEST(Caps, GraphTokenTerminatedByNewlineOrEndOfLine) {
+  // graph= as the last token (no trailing space) must still parse.
+  EXPECT_EQ(bench::parse_caps_graph("bench-caps: graph=no\n"),
+            bench::BenchCaps::Graph::NoOp);
+  EXPECT_EQ(bench::parse_caps_graph("bench-caps: graph=partial"),
+            bench::BenchCaps::Graph::Partial);
+}
+
+}  // namespace

@@ -88,6 +88,47 @@ TEST(FrontierEngine, ParallelPathActuallyRuns) {
   EXPECT_EQ(engine.serial_rounds(), 0u);
 }
 
+TEST(FrontierEngine, ParallelDenseOpsBitIdenticalToSerialOps) {
+  // The dense rounds' parallelized fixed costs (bitmap clear + span
+  // overload materialization) are value-independent, so toggling
+  // parallel_dense_ops or the pool size must never change a frontier. The
+  // cycle is large enough (words >= the helpers' engagement thresholds)
+  // that both parallel helpers actually run.
+  const Graph g = make_cycle(1u << 21);
+  const auto run = [&](FrontierOptions opts) {
+    opts.chunk_size = kChunk;
+    opts.mode = FrontierMode::ForceDense;
+    FrontierEngine engine(g, opts);
+    const TwoSampler sampler{&g, NeighborSampler(g)};
+    std::vector<Vertex> frontier(64);
+    std::iota(frontier.begin(), frontier.end(), 0u);
+    std::vector<Vertex> next;
+    for (int r = 0; r < 5; ++r) {
+      engine.expand(frontier, next, /*round_seed=*/0xD05E + r, sampler);
+      frontier.swap(next);
+    }
+    EXPECT_EQ(engine.dense_rounds(), 5u);
+    return frontier;
+  };
+
+  FrontierOptions serial;
+  serial.parallel_threshold = static_cast<std::size_t>(-1);
+  const std::vector<Vertex> reference = run(serial);
+  ASSERT_FALSE(reference.empty());
+
+  par::ThreadPool pool2(2), pool8(8);
+  for (par::ThreadPool* pool : {&pool2, &pool8}) {
+    for (const bool parallel_ops : {true, false}) {
+      FrontierOptions opts;
+      opts.parallel_threshold = 1;
+      opts.pool = pool;
+      opts.parallel_dense_ops = parallel_ops;
+      EXPECT_EQ(run(opts), reference)
+          << pool->size() << " threads, parallel_dense_ops=" << parallel_ops;
+    }
+  }
+}
+
 TEST(FrontierEngine, CobraWalkBitIdenticalAcrossPools) {
   Engine graph_gen(23);
   const Graph g = make_random_regular(graph_gen, 8192, 4);

@@ -1,0 +1,108 @@
+// Satellite cross-check: sim::Runner's cover/hitting measurements on tiny
+// graphs must agree with the EXACT tables (core::ExactCobra's subset-chain
+// solve and graph::exact_rw_hitting_times' linear system). An off-by-one
+// in the Runner's round accounting — counting the initial state as a step,
+// or missing the final round — shifts every mean by ~1 and fails these.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/cobra_walk.hpp"
+#include "core/exact_cobra.hpp"
+#include "core/random_walk.hpp"
+#include "gen/registry.hpp"
+#include "graph/exact_hitting.hpp"
+#include "parallel/monte_carlo.hpp"
+#include "sim/runner.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace cobra;
+
+/// Serial Monte-Carlo mean of `trial` (run_trials_serial keeps this test
+/// schedule-independent and cheap to reason about).
+template <typename Trial>
+stats::Summary serial_mean(std::uint32_t trials, std::uint64_t seed,
+                           Trial&& trial) {
+  par::MonteCarloOptions opts;
+  opts.base_seed = seed;
+  opts.trials = trials;
+  return stats::summarize(par::run_trials_serial(opts, trial));
+}
+
+/// |mean - exact| within 5 standard errors (seeded runs, so this is a
+/// fixed outcome, not a flaky bound; 5 sigma leaves huge slack).
+void expect_agrees(const stats::Summary& s, double exact,
+                   const std::string& what) {
+  EXPECT_LE(std::abs(s.mean - exact), 5.0 * s.sem + 1e-9)
+      << what << ": mean " << s.mean << " vs exact " << exact << " (sem "
+      << s.sem << ")";
+}
+
+TEST(ExactCrossCheck, CobraCoverOnTinyGraphsMatchesExactTables) {
+  for (const std::string spec :
+       {std::string("ring:n=6"), std::string("complete:n=5"),
+        std::string("path:n=5")}) {
+    const graph::Graph g = gen::build_graph(spec);
+    const core::ExactCobra exact(g, 2);
+    const double expected = exact.expected_cover_time(0);
+    const auto measured = serial_mean(6000, 0x5E1, [&](core::Engine& gen,
+                                                       std::uint32_t) {
+      core::CobraWalk walk(g, 0, 2);
+      return static_cast<double>(sim::run_cover(walk, gen).rounds);
+    });
+    expect_agrees(measured, expected, spec + " cover");
+  }
+}
+
+TEST(ExactCrossCheck, CobraHittingMatchesExactTables) {
+  const graph::Graph g = gen::build_graph("ring:n=8");
+  const core::ExactCobra exact(g, 2);
+  const core::Vertex target = 4;  // the antipode
+  const double expected = exact.expected_hitting_time(0, target);
+  const auto measured =
+      serial_mean(6000, 0x5E2, [&](core::Engine& gen, std::uint32_t) {
+        core::CobraWalk walk(g, 0, 2);
+        return static_cast<double>(sim::run_hit(walk, target, gen).rounds);
+      });
+  expect_agrees(measured, expected, "ring:n=8 hit 0->4");
+}
+
+TEST(ExactCrossCheck, RandomWalkHitObserverMatchesLinearSystem) {
+  // The k=1 degenerate case against the independent exact baseline
+  // (graph/exact_hitting's dense solve, not the subset chain).
+  const graph::Graph g = gen::build_graph("ring:n=8");
+  const core::Vertex target = 3;
+  const double expected = graph::exact_rw_hitting_times(g, target)[0];
+  EXPECT_DOUBLE_EQ(expected, 3.0 * (8.0 - 3.0));  // cycle closed form
+  const auto measured =
+      serial_mean(8000, 0x5E3, [&](core::Engine& gen, std::uint32_t) {
+        core::RandomWalk walk(g, 0);
+        return static_cast<double>(sim::run_hit(walk, target, gen).rounds);
+      });
+  expect_agrees(measured, expected, "rw ring:n=8 hit 0->3");
+}
+
+TEST(ExactCrossCheck, FirstVisitObserverAgreesWithHitStop) {
+  // The FirstVisitTimes observer must assign the target the same round the
+  // HitTarget stop rule fires at — same trajectory, two accountings.
+  const graph::Graph g = gen::build_graph("ring:n=8");
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    core::Engine gen_a(seed), gen_b(seed);
+    core::CobraWalk walk_a(g, 0, 2);
+    const auto hit = sim::run_hit(walk_a, 5, gen_a);
+    ASSERT_TRUE(hit.stopped);
+    core::CobraWalk walk_b(g, 0, 2);
+    sim::FirstVisitTimes visits;
+    sim::CoverStop cover;
+    const auto covered = sim::Runner().run(walk_b, gen_b, cover, visits);
+    ASSERT_TRUE(covered.stopped);
+    EXPECT_LE(hit.rounds, covered.rounds);
+    EXPECT_EQ(visits.time_of(5), hit.rounds);
+  }
+}
+
+}  // namespace
