@@ -7,9 +7,15 @@
 /// pool honors --threads only before its first use, so thread-count sweeps
 /// cannot share a process — exactly the constraint that made this a shell
 /// loop before. The child's --out JSON is embedded verbatim in the merged
-/// file (see sweep.hpp for the schema), and the sweep FAILS (exit 1) if
-/// any run is dropped — a crashed child or unwritable file can't silently
-/// thin the longitudinal record.
+/// file (see sweep.hpp for the schema).
+///
+/// A per-cell WATCHDOG supervises every child: a failed attempt (non-zero
+/// exit, wall-clock timeout, or truncated --out JSON) is retried with
+/// exponential backoff, and a cell that exhausts its attempts is
+/// QUARANTINED into the merged file's "failed_runs" section instead of
+/// aborting the sweep — one poisoned cell cannot cost a night of results.
+/// The sweep exits 0 when every cell is accounted for (completed or
+/// explicitly quarantined) and `--validate` re-checks that accounting.
 ///
 /// Benches are queried for capability metadata first (`<bench> --caps`):
 /// a bench whose --graph does not drive its measurement (grid_drift's Z^d
@@ -19,6 +25,8 @@
 /// Usage:
 ///   cobra_sweep --graph <spec[,spec...]> [--bench b1,b2] [--threads 1,2]
 ///               --out sweep.json [--bindir DIR] [--trials T] [--smoke]
+///               [--retries R] [--backoff-ms MS] [--timeout S]
+///               [--resume prev.json]
 ///   cobra_sweep --validate sweep.json [--expect-runs N]
 ///
 ///   --graph    spec list; ';' separates always, ',' smartly (a segment
@@ -30,27 +38,59 @@
 ///   --bindir   directory holding the bench binaries (default: the
 ///              directory cobra_sweep itself was launched from)
 ///   --trials / --smoke   forwarded to every child verbatim
+///   --retries  extra attempts per cell after the first (default 1)
+///   --backoff-ms  delay before the first retry, doubling per retry
+///              (default 200, capped at 60 s)
+///   --timeout  per-attempt wall clock in seconds, enforced with
+///              coreutils `timeout` (default 0 = none)
+///   --resume   a previous merged file: cells it already completed are
+///              embedded as-is and skipped; its quarantined cells rerun
 ///   --keep-runs keep the per-run scratch directory (<out>.runs: child
 ///              JSON + logs) after a fully successful sweep; it is always
-///              kept when any run fails, since it holds the only
-///              diagnostics
-///   --validate re-check a merged file: exit 0 iff it holds exactly the
-///              runs it promises (the sweep-smoke ctest's second half)
+///              kept when any cell was quarantined, since it holds the
+///              only diagnostics
+///   --validate re-check a merged file: exit 0 iff completed runs plus
+///              quarantined failed_runs account for every promised cell
+///
+/// Fault-injection levers (resilience tests; cell ids are the 0-based
+/// position in the bench x spec x threads iteration order):
+///   --inject-crash-run I  cell I's child crashes on EVERY attempt
+///                         (exercises quarantine)
+///   --inject-flaky-run I  cell I's child crashes on the FIRST attempt
+///                         only (exercises retry + backoff)
+///   --inject-hang-run I   cell I's child hangs on every attempt;
+///                         requires --timeout (exercises the watchdog)
+///
+/// Exit codes: 0 = every cell accounted for (even if some quarantined),
+/// 1 = infrastructure failure (missing binary, unwritable output, invalid
+/// --resume/--validate file), 2 = command-line parse error.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#ifdef __unix__
+#include <sys/wait.h>
+#endif
+
+#include "gen/registry.hpp"
+#include "gen/spec.hpp"
 #include "harness.hpp"
 #include "sweep.hpp"
 
 namespace {
 
 using namespace cobra;
+
+constexpr std::size_t kNoInjection = static_cast<std::size_t>(-1);
 
 std::string shell_quote(const std::string& s) {
   std::string out = "'";
@@ -81,13 +121,76 @@ std::string query_caps(const std::filesystem::path& binary,
   return read_file(scratch);
 }
 
+/// std::system returns a wait(2) status on POSIX, not the exit code; decode
+/// it so "exit 86" means the child's actual _Exit(86) and a signal death
+/// reads as the conventional 128+sig.
+int child_exit_code(int rc) {
+#ifdef __unix__
+  if (WIFEXITED(rc)) return WEXITSTATUS(rc);
+  if (WIFSIGNALED(rc)) return 128 + WTERMSIG(rc);
+  return rc;
+#else
+  return rc;
+#endif
+}
+
+/// Command-line parse error: the offending input plus enough grammar to fix
+/// it, then exit 2 (distinct from exit 1 = runtime/infra failure, so the CI
+/// smoke steps can tell "you typo'd the sweep" from "the sweep broke").
+[[noreturn]] void parse_error(const std::string& message, bool show_grammar) {
+  std::cerr << "cobra_sweep: " << message << "\n";
+  if (show_grammar) std::cerr << "graph specs:\n" << gen::grammar_help();
+  std::exit(2);
+}
+
+/// Eagerly validate one spec against the generator registry so a typo in a
+/// 40-cell sweep dies before cell 0 runs, naming the bad token — not as a
+/// cryptic child failure 20 minutes in.
+void require_valid_spec(const std::string& spec_text) {
+  try {
+    const gen::GraphSpec spec = gen::GraphSpec::parse(spec_text);
+    const gen::FamilyInfo* info = gen::find_family(spec.family());
+    if (info == nullptr) {
+      throw std::invalid_argument("unknown graph family '" + spec.family() +
+                                  "'");
+    }
+    for (const auto& [key, value] : spec.params()) {
+      if (std::find(info->keys.begin(), info->keys.end(), key) ==
+          info->keys.end()) {
+        throw std::invalid_argument("family '" + spec.family() +
+                                    "' does not accept key '" + key + "'");
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    parse_error("in --graph spec '" + spec_text + "': " + e.what(), true);
+  }
+}
+
+/// Cell identity for --resume matching; \x1f cannot appear in any of the
+/// three fields, so the key is unambiguous.
+std::string cell_key(const std::string& bench, const std::string& spec,
+                     std::size_t threads) {
+  return bench + '\x1f' + spec + '\x1f' + std::to_string(threads);
+}
+
+std::size_t uint_flag_or_die(const io::Args& args, const std::string& name,
+                             std::uint64_t fallback) {
+  try {
+    return static_cast<std::size_t>(args.get_uint(name, fallback));
+  } catch (const std::invalid_argument& e) {
+    parse_error(e.what(), false);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> allowed = {"graph",  "bench",    "threads",
-                                      "bindir", "out",      "trials",
-                                      "smoke",  "validate", "expect-runs",
-                                      "keep-runs"};
+  std::vector<std::string> allowed = {
+      "graph",      "bench",      "threads",          "bindir",
+      "out",        "trials",     "smoke",            "validate",
+      "expect-runs", "keep-runs", "retries",          "backoff-ms",
+      "timeout",    "resume",     "inject-crash-run", "inject-flaky-run",
+      "inject-hang-run"};
   io::Args args(0, nullptr, {});
   try {
     args = io::Args(argc, argv, allowed);
@@ -95,17 +198,10 @@ int main(int argc, char** argv) {
     std::cerr << "cobra_sweep: " << e.what() << "\nflags:";
     for (const auto& flag : allowed) std::cerr << " --" << flag;
     std::cerr << "\n";
-    return 1;
+    return 2;
   }
-  std::size_t expect_runs = 0;
-  std::size_t trials = 0;
-  try {
-    expect_runs = static_cast<std::size_t>(args.get_uint("expect-runs", 0));
-    trials = static_cast<std::size_t>(args.get_uint("trials", 0));
-  } catch (const std::invalid_argument& e) {
-    std::cerr << "cobra_sweep: " << e.what() << "\n";
-    return 1;
-  }
+  const std::size_t expect_runs = uint_flag_or_die(args, "expect-runs", 0);
+  const std::size_t trials = uint_flag_or_die(args, "trials", 0);
 
   // ---- validate mode -----------------------------------------------------
   if (args.has("validate")) {
@@ -121,7 +217,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "cobra_sweep: " << path << " valid ("
-              << bench::count_merged_runs(text) << " runs)\n";
+              << bench::count_merged_runs(text) << " runs, "
+              << bench::count_failed_runs(text) << " quarantined)\n";
     return 0;
   }
 
@@ -129,7 +226,7 @@ int main(int argc, char** argv) {
   if (!args.has("graph") || !args.has("out")) {
     std::cerr << "cobra_sweep: --graph <spec[,spec...]> and --out <path> are "
                  "required (or --validate <file>)\n";
-    return 1;
+    return 2;
   }
   const std::string out_path = args.get("out", "");
   std::vector<std::string> specs;
@@ -137,18 +234,79 @@ int main(int argc, char** argv) {
   std::vector<std::string> benches;
   try {
     specs = bench::split_spec_list(args.get("graph", ""));
+  } catch (const std::invalid_argument& e) {
+    parse_error("in --graph '" + args.get("graph", "") + "': " + e.what(),
+                true);
+  }
+  try {
     thread_counts = bench::split_uint_list(args.get("threads", "1"));
+  } catch (const std::invalid_argument& e) {
+    parse_error("in --threads '" + args.get("threads", "1") + "': " +
+                    e.what() + " (expected a comma-separated uint list, "
+                    "e.g. --threads 1,2,8)",
+                false);
+  }
+  try {
     for (const auto& b : bench::split_spec_list(args.get("bench", ""))) {
       benches.push_back(b);
     }
   } catch (const std::invalid_argument& e) {
-    std::cerr << "cobra_sweep: " << e.what() << "\n";
-    return 1;
+    parse_error("in --bench '" + args.get("bench", "") + "': " + e.what(),
+                false);
   }
   if (benches.empty()) benches = {"bench_expander_cover"};
   if (specs.empty()) {
-    std::cerr << "cobra_sweep: --graph parsed to an empty spec list\n";
-    return 1;
+    parse_error("--graph '" + args.get("graph", "") +
+                    "' parsed to an empty spec list",
+                true);
+  }
+  for (const auto& spec : specs) require_valid_spec(spec);
+
+  bench::RetryPolicy policy;
+  policy.retries = uint_flag_or_die(args, "retries", 1);
+  policy.backoff_ms = uint_flag_or_die(args, "backoff-ms", 200);
+  policy.timeout_s = uint_flag_or_die(args, "timeout", 0);
+
+  const std::size_t crash_run =
+      args.has("inject-crash-run")
+          ? uint_flag_or_die(args, "inject-crash-run", 0)
+          : kNoInjection;
+  const std::size_t flaky_run =
+      args.has("inject-flaky-run")
+          ? uint_flag_or_die(args, "inject-flaky-run", 0)
+          : kNoInjection;
+  const std::size_t hang_run =
+      args.has("inject-hang-run") ? uint_flag_or_die(args, "inject-hang-run", 0)
+                                  : kNoInjection;
+  if (hang_run != kNoInjection && policy.timeout_s == 0) {
+    parse_error("--inject-hang-run requires --timeout (otherwise the hanging "
+                "child parks the sweep for the injected 60 s)",
+                false);
+  }
+
+  // Runs a previous (interrupted/partial) sweep already completed, keyed by
+  // cell; its quarantined cells are deliberately NOT here, so they rerun.
+  std::unordered_map<std::string, std::string> resumed;
+  if (args.has("resume")) {
+    const std::string resume_path = args.get("resume", "");
+    const std::string text = read_file(resume_path);
+    if (text.empty()) {
+      std::cerr << "cobra_sweep: cannot read --resume file " << resume_path
+                << "\n";
+      return 1;
+    }
+    try {
+      for (auto& run : bench::extract_merged_runs(text)) {
+        resumed[cell_key(run.bench, run.spec, run.threads)] =
+            std::move(run.json_text);
+      }
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "cobra_sweep: --resume file " << resume_path
+                << " is not a merged sweep file: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "cobra_sweep: resuming from " << resume_path << " ("
+              << resumed.size() << " completed runs to reuse)\n";
   }
 
   namespace fs = std::filesystem;
@@ -189,36 +347,89 @@ int main(int argc, char** argv) {
   }
 
   const std::size_t expected = swept.size() * specs.size() * thread_counts.size();
+  const std::size_t attempts_max = policy.retries + 1;
   std::vector<bench::SweepRun> runs;
-  std::size_t failures = 0;
+  std::vector<bench::FailedRun> failed;
+  std::size_t reused = 0;
   std::size_t index = 0;
   for (const auto& name : swept) {
     for (const auto& spec : specs) {
       for (const std::size_t threads : thread_counts) {
-        const fs::path run_json =
-            workdir / ("run_" + std::to_string(index) + ".json");
-        const fs::path run_log =
-            workdir / ("run_" + std::to_string(index) + ".log");
-        ++index;
-        std::string cmd = shell_quote((bindir / name).string()) + " --graph " +
-                          shell_quote(spec) + " --threads " +
-                          std::to_string(threads) + " --out " +
-                          shell_quote(run_json.string());
-        if (args.get_bool("smoke", false)) cmd += " --smoke";
-        if (args.has("trials")) cmd += " --trials " + std::to_string(trials);
-        cmd += " > " + shell_quote(run_log.string()) + " 2>&1";
+        const std::size_t cell = index++;
         std::cout << "cobra_sweep: [" << index << "/" << expected << "] "
                   << name << "  graph=" << spec << "  threads=" << threads
                   << std::endl;
-        const int rc = std::system(cmd.c_str());
-        const std::string json_text = read_file(run_json);
-        if (rc != 0 || !bench::looks_like_bench_json(json_text)) {
-          std::cerr << "cobra_sweep: run FAILED (rc " << rc << ", log "
-                    << run_log << ")\n";
-          ++failures;
+        if (const auto it = resumed.find(cell_key(name, spec, threads));
+            it != resumed.end()) {
+          std::cout << "cobra_sweep:   already completed in the --resume "
+                       "file; reusing its result\n";
+          runs.push_back({name, spec, threads, it->second});
+          ++reused;
           continue;
         }
-        runs.push_back({name, spec, threads, json_text});
+
+        const fs::path run_json =
+            workdir / ("run_" + std::to_string(cell) + ".json");
+        const fs::path run_log =
+            workdir / ("run_" + std::to_string(cell) + ".log");
+        fs::remove(run_log, ec);  // fresh log per cell; attempts append
+
+        bool ok = false;
+        std::string reason;
+        for (std::size_t attempt = 0; attempt < attempts_max; ++attempt) {
+          if (attempt > 0) {
+            const std::uint64_t delay =
+                bench::backoff_delay_ms(policy, attempt - 1);
+            std::cout << "cobra_sweep:   retry " << attempt << "/"
+                      << policy.retries << " after " << delay << " ms backoff"
+                      << std::endl;
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          }
+          // A stale or partial file from a previous attempt must not be
+          // mistaken for this attempt's output.
+          fs::remove(run_json, ec);
+
+          std::string cmd = shell_quote((bindir / name).string()) +
+                            " --graph " + shell_quote(spec) + " --threads " +
+                            std::to_string(threads) + " --out " +
+                            shell_quote(run_json.string());
+          if (args.get_bool("smoke", false)) cmd += " --smoke";
+          if (args.has("trials")) cmd += " --trials " + std::to_string(trials);
+          if (cell == crash_run) cmd += " --inject-crash-after 0";
+          if (cell == flaky_run && attempt == 0) {
+            cmd += " --inject-crash-after 0";  // first attempt only: a flake
+          }
+          if (cell == hang_run) cmd += " --inject-hang 60";
+          if (policy.timeout_s != 0) {
+            // coreutils timeout(1): kills the child and exits 124.
+            cmd = "timeout " + std::to_string(policy.timeout_s) + " " + cmd;
+          }
+          cmd += " >> " + shell_quote(run_log.string()) + " 2>&1";
+
+          const int code = child_exit_code(std::system(cmd.c_str()));
+          if (code == 0) {
+            const std::string json_text = read_file(run_json);
+            if (bench::looks_like_bench_json(json_text)) {
+              runs.push_back({name, spec, threads, json_text});
+              ok = true;
+              break;
+            }
+            reason = "invalid or truncated --out JSON";
+          } else if (code == 124 && policy.timeout_s != 0) {
+            reason = "timeout after " + std::to_string(policy.timeout_s) +
+                     "s (exit 124)";
+          } else {
+            reason = "exit " + std::to_string(code);
+          }
+          std::cerr << "cobra_sweep:   attempt " << (attempt + 1) << "/"
+                    << attempts_max << " FAILED: " << reason << " (log "
+                    << run_log << ")\n";
+        }
+        if (!ok) {
+          std::cerr << "cobra_sweep:   QUARANTINED after " << attempts_max
+                    << " attempt(s): " << reason << "\n";
+          failed.push_back({name, spec, threads, attempts_max, reason});
+        }
       }
     }
   }
@@ -228,7 +439,9 @@ int main(int argc, char** argv) {
       {"threads", args.get("threads", "1")},
   };
   if (args.get_bool("smoke", false)) context.emplace_back("smoke", "1");
-  const std::string merged = bench::merge_sweep_json(runs, expected, context);
+  if (reused != 0) context.emplace_back("resumed_runs", std::to_string(reused));
+  const std::string merged =
+      bench::merge_sweep_json(runs, failed, expected, context);
   std::ofstream out(out_path);
   out << merged;
   out.flush();
@@ -237,14 +450,23 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "cobra_sweep: wrote " << out_path << " (" << runs.size() << "/"
-            << expected << " runs)\n";
-  if (failures != 0) {
-    // Keep the per-run logs — they are the only diagnostic for the
-    // failures just reported.
-    std::cerr << "cobra_sweep: " << failures
-              << " run(s) dropped from the merge (logs kept in " << workdir
-              << ")\n";
-    return 1;
+            << expected << " runs";
+  if (reused != 0) std::cout << ", " << reused << " reused";
+  if (!failed.empty()) std::cout << ", " << failed.size() << " quarantined";
+  std::cout << ")\n";
+  if (!failed.empty()) {
+    // Every cell is ACCOUNTED for (completed or quarantined), so this is a
+    // successful sweep — exit 0 — but the quarantine is loud and the per-run
+    // logs are kept: they are the only diagnostics for the failures.
+    for (const auto& f : failed) {
+      std::cerr << "cobra_sweep: quarantined " << f.bench << "  graph="
+                << f.spec << "  threads=" << f.threads << "  (" << f.reason
+                << " after " << f.attempts << " attempts)\n";
+    }
+    std::cerr << "cobra_sweep: " << failed.size()
+              << " cell(s) quarantined into \"failed_runs\" (logs kept in "
+              << workdir << "); rerun them with --resume " << out_path << "\n";
+    return 0;
   }
   if (!args.get_bool("keep-runs", false)) {
     fs::remove_all(workdir, ec);  // best-effort cleanup of per-run files

@@ -1,6 +1,8 @@
 #include "harness.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
@@ -11,16 +13,43 @@
 #include <thread>
 
 #include "sim/runner.hpp"
+#include "util/fault.hpp"
 
 namespace cobra::bench {
 
 namespace {
 
 /// Flags every bench accepts, appended to each bench's `extra` list.
+/// The two inject-* flags are the sweep watchdog's test levers: any bench
+/// can be told to die or stall on command, so resilience tests drive REAL
+/// benches through REAL failure modes instead of mock children.
 const std::vector<std::string>& shared_flags() {
-  static const std::vector<std::string> flags = {"graph", "out", "smoke",
-                                                 "threads"};
+  static const std::vector<std::string> flags = {
+      "graph", "out", "smoke", "threads", "inject-crash-after", "inject-hang"};
   return flags;
+}
+
+/// Act on the harness-level fault flags, before any measurement runs:
+/// --inject-crash-after <ms>  sleep, then die abruptly (_Exit, no cleanup,
+///                            no --out written) — a segfault stand-in
+/// --inject-hang <s>          stall up to s seconds (capped at 600 so an
+///                            unwatched child still terminates), then exit
+///                            nonzero — what a livelock looks like to the
+///                            sweep's per-child timeout
+void apply_injections(const io::Args& args) {
+  if (args.has("inject-crash-after")) {
+    const auto ms = args.get_uint("inject-crash-after", 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    std::cerr << "[bench] injected crash (--inject-crash-after)\n";
+    std::_Exit(86);
+  }
+  if (args.has("inject-hang")) {
+    const auto s = std::min<std::uint64_t>(args.get_uint("inject-hang", 0), 600);
+    std::cerr << "[bench] injected hang for " << s
+              << "s (--inject-hang)\n";
+    std::this_thread::sleep_for(std::chrono::seconds(s));
+    std::exit(87);  // a watchdog timeout should have fired long before this
+  }
 }
 
 }  // namespace
@@ -96,6 +125,8 @@ io::Args parse_bench_args(int argc, const char* const* argv,
                      "was already created\n";
       }
     }
+    util::fault::arm_from_env();  // COBRA_FAULT="site[@after],..." arming
+    apply_injections(args);
     return args;
   } catch (const std::invalid_argument& e) {
     std::cerr << e.what() << "\nflags: ";

@@ -1,6 +1,8 @@
 #include "sweep.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -113,15 +115,61 @@ std::vector<std::size_t> split_uint_list(const std::string& text) {
   return values;
 }
 
+std::uint64_t backoff_delay_ms(const RetryPolicy& policy, std::size_t attempt) {
+  constexpr std::uint64_t kCapMs = 60'000;
+  const double factor = policy.factor < 1.0 ? 1.0 : policy.factor;
+  double delay = static_cast<double>(policy.backoff_ms) *
+                 std::pow(factor, static_cast<double>(attempt));
+  if (!(delay < static_cast<double>(kCapMs))) delay = static_cast<double>(kCapMs);
+  return static_cast<std::uint64_t>(delay);
+}
+
 bool looks_like_bench_json(const std::string& text) {
   const std::string body = trim(text);
-  return !body.empty() && body.front() == '{' && body.back() == '}' &&
-         body.find("\"benchmark\"") != std::string::npos &&
-         body.find("\"records\"") != std::string::npos;
+  if (body.empty() || body.front() != '{' || body.back() != '}') return false;
+  if (body.find("\"benchmark\"") == std::string::npos ||
+      body.find("\"records\"") == std::string::npos) {
+    return false;
+  }
+  // Structural balance outside strings: a truncated child file usually
+  // still ends at SOME closing brace (the last complete record), so the
+  // depth must return to zero at the final byte and at no earlier one.
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+      if (depth == 0 && i + 1 != body.size()) return false;
+    }
+  }
+  return depth == 0 && !in_string;
 }
 
 std::string merge_sweep_json(
     const std::vector<SweepRun>& runs, std::size_t expected_runs,
+    const std::vector<std::pair<std::string, std::string>>& context) {
+  return merge_sweep_json(runs, {}, expected_runs, context);
+}
+
+std::string merge_sweep_json(
+    const std::vector<SweepRun>& runs, const std::vector<FailedRun>& failed,
+    std::size_t expected_runs,
     const std::vector<std::pair<std::string, std::string>>& context) {
   std::ostringstream os;
   os << "{\n  \"sweep\": \"cobra_sweep\",\n  \"context\": {\n"
@@ -138,19 +186,170 @@ std::string merge_sweep_json(
        << ",\n      \"result\": " << indent_json(run.json_text, "      ")
        << " }";
   }
-  os << "\n  ]\n}\n";
+  os << "\n  ]";
+  if (!failed.empty()) {
+    os << ",\n  \"failed_runs\": [";
+    for (std::size_t i = 0; i < failed.size(); ++i) {
+      const FailedRun& f = failed[i];
+      os << (i == 0 ? "\n" : ",\n") << "    { \"failed_run_id\": " << i
+         << ", \"bench\": " << quote(f.bench) << ", \"spec\": " << quote(f.spec)
+         << ", \"threads\": " << f.threads << ", \"attempts\": " << f.attempts
+         << ", \"reason\": " << quote(f.reason) << " }";
+    }
+    os << "\n  ]";
+  }
+  os << "\n}\n";
   return os.str();
 }
 
-std::size_t count_merged_runs(const std::string& merged_text) {
-  const std::string key = "\"sweep_run_id\"";
+namespace {
+
+std::size_t count_key(const std::string& text, const std::string& key) {
   std::size_t count = 0;
   std::size_t pos = 0;
-  while ((pos = merged_text.find(key, pos)) != std::string::npos) {
+  while ((pos = text.find(key, pos)) != std::string::npos) {
     ++count;
     pos += key.size();
   }
   return count;
+}
+
+[[noreturn]] void extract_fail(const std::string& why) {
+  throw std::invalid_argument("extract_merged_runs: " + why);
+}
+
+/// Decode the JSON string starting at the opening quote `pos`; advances
+/// `pos` past the closing quote. Understands JsonReporter's escapes
+/// (\" \\ and \u00XX control characters).
+std::string json_unquote(const std::string& text, std::size_t& pos) {
+  if (pos >= text.size() || text[pos] != '"') extract_fail("expected '\"'");
+  std::string out;
+  ++pos;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (c == '"') {
+      ++pos;
+      return out;
+    }
+    if (c == '\\') {
+      if (pos + 1 >= text.size()) break;
+      const char esc = text[pos + 1];
+      if (esc == 'u') {
+        if (pos + 5 >= text.size()) break;
+        const std::string hex = text.substr(pos + 2, 4);
+        out += static_cast<char>(std::stoi(hex, nullptr, 16));
+        pos += 6;
+      } else {
+        out += esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
+        pos += 2;
+      }
+      continue;
+    }
+    out += c;
+    ++pos;
+  }
+  extract_fail("unterminated string");
+}
+
+/// Value of `"key": ` scanning forward from `from` within `text`,
+/// stopping the search at `limit`. Returns npos when absent.
+std::size_t find_key(const std::string& text, const std::string& key,
+                     std::size_t from, std::size_t limit) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle, from);
+  if (pos == std::string::npos || pos >= limit) return std::string::npos;
+  std::size_t value = pos + needle.size();
+  while (value < text.size() && text[value] == ' ') ++value;
+  return value;
+}
+
+}  // namespace
+
+std::size_t count_merged_runs(const std::string& merged_text) {
+  return count_key(merged_text, "\"sweep_run_id\"");
+}
+
+std::size_t count_failed_runs(const std::string& merged_text) {
+  return count_key(merged_text, "\"failed_run_id\"");
+}
+
+std::vector<SweepRun> extract_merged_runs(const std::string& merged_text) {
+  std::vector<SweepRun> runs;
+  std::size_t pos = 0;
+  const std::string marker = "\"sweep_run_id\":";
+  while ((pos = merged_text.find(marker, pos)) != std::string::npos) {
+    const std::size_t entry = pos;
+    pos += marker.size();
+    SweepRun run;
+    std::size_t at = find_key(merged_text, "bench", entry, merged_text.size());
+    if (at == std::string::npos) extract_fail("run without \"bench\"");
+    run.bench = json_unquote(merged_text, at);
+    at = find_key(merged_text, "spec", at, merged_text.size());
+    if (at == std::string::npos) extract_fail("run without \"spec\"");
+    run.spec = json_unquote(merged_text, at);
+    at = find_key(merged_text, "threads", at, merged_text.size());
+    if (at == std::string::npos) extract_fail("run without \"threads\"");
+    try {
+      run.threads = static_cast<std::size_t>(
+          std::stoull(merged_text.substr(at)));
+    } catch (const std::exception&) {
+      extract_fail("bad \"threads\" value");
+    }
+    at = find_key(merged_text, "result", at, merged_text.size());
+    if (at == std::string::npos) extract_fail("run without \"result\"");
+    if (at >= merged_text.size() || merged_text[at] != '{') {
+      extract_fail("\"result\" is not an object");
+    }
+    // Brace-match the embedded child document (strings tracked, so a '}'
+    // inside a spec string cannot close it early).
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    std::size_t end = at;
+    for (; end < merged_text.size(); ++end) {
+      const char c = merged_text[end];
+      if (in_string) {
+        if (escaped) {
+          escaped = false;
+        } else if (c == '\\') {
+          escaped = true;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          ++end;
+          break;
+        }
+      }
+    }
+    if (depth != 0) extract_fail("unbalanced \"result\" object");
+    // Undo the merge's 6-space re-indent to recover the child's own text.
+    std::string body = merged_text.substr(at, end - at);
+    std::string dedented;
+    dedented.reserve(body.size());
+    std::size_t line_start = 0;
+    while (line_start <= body.size()) {
+      std::size_t line_end = body.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = body.size();
+      std::string line = body.substr(line_start, line_end - line_start);
+      if (line_start > 0 && line.rfind("      ", 0) == 0) line = line.substr(6);
+      dedented += line;
+      if (line_end == body.size()) break;
+      dedented += '\n';
+      line_start = line_end + 1;
+    }
+    run.json_text = dedented + "\n";
+    runs.push_back(std::move(run));
+    pos = end;
+  }
+  return runs;
 }
 
 std::size_t expected_runs_of(const std::string& merged_text) {
@@ -182,8 +381,10 @@ bool validate_merged_sweep(const std::string& merged_text, std::size_t expect,
                      " != requested " + std::to_string(expect));
   }
   const std::size_t have = count_merged_runs(merged_text);
-  if (have != want) {
-    return set_error("merge holds " + std::to_string(have) + " runs, expected " +
+  const std::size_t quarantined = count_failed_runs(merged_text);
+  if (have + quarantined != want) {
+    return set_error("merge accounts for " + std::to_string(have) + " runs + " +
+                     std::to_string(quarantined) + " failed, expected " +
                      std::to_string(want) + " (dropped runs)");
   }
   return true;

@@ -21,13 +21,22 @@
 ///       { "sweep_run_id": 0, "bench": "...", "spec": "...",
 ///         "threads": T, "result": { <the bench's own --out JSON> } },
 ///       ...
+///     ],
+///     "failed_runs": [
+///       { "failed_run_id": 0, "bench": "...", "spec": "...",
+///         "threads": T, "attempts": A, "reason": "..." },
+///       ...
 ///     ]
 ///   }
 ///
 /// Each run's `result` is the child bench's JSON embedded verbatim (we
 /// wrote it, so it needs re-indenting, not re-parsing); `sweep_run_id` is
 /// the distinctive token validation counts, chosen because no bench JSON
-/// field uses that name.
+/// field uses that name. `failed_runs` (omitted when empty) quarantines
+/// cells whose child kept failing after the watchdog's retries: the sweep
+/// completes AROUND a poisoned cell and the file says so explicitly —
+/// validation accepts a file exactly when runs + failed_runs account for
+/// every expected cell, so a silently dropped run still fails it.
 
 namespace cobra::bench {
 
@@ -52,9 +61,40 @@ struct SweepRun {
   std::string json_text;  ///< the child's --out file, verbatim
 };
 
-/// Cheap structural check that `text` is a bench JSON record (JsonReporter
-/// schema) — an object with "benchmark" and "records" keys. Guards the
-/// merge against embedding a truncated or empty child file.
+/// One quarantined cell: a (bench, spec, threads) point whose child failed
+/// every watchdog attempt.
+struct FailedRun {
+  std::string bench;
+  std::string spec;
+  std::size_t threads = 0;
+  std::size_t attempts = 0;  ///< attempts consumed (1 + retries)
+  std::string reason;        ///< "exit 134", "timeout (exit 124)", ...
+};
+
+/// The watchdog's retry schedule for one sweep cell. A failed attempt
+/// (non-zero exit, timeout, or unusable --out JSON) is retried up to
+/// `retries` more times, sleeping backoff_ms * factor^k between attempts;
+/// a cell that exhausts its attempts is quarantined into "failed_runs"
+/// instead of aborting the sweep.
+struct RetryPolicy {
+  std::size_t retries = 1;       ///< extra attempts after the first
+  std::uint64_t backoff_ms = 200;  ///< delay before the first retry
+  double factor = 2.0;           ///< exponential growth per retry
+  std::uint64_t timeout_s = 0;   ///< per-attempt wall clock; 0 = none
+};
+
+/// Delay before retry `attempt` (0-based: the sleep after the attempt-th
+/// failure) — backoff_ms * factor^attempt, capped at 60 s so a typo'd
+/// factor cannot park the sweep.
+[[nodiscard]] std::uint64_t backoff_delay_ms(const RetryPolicy& policy,
+                                             std::size_t attempt);
+
+/// Structural check that `text` is a bench JSON record (JsonReporter
+/// schema): an object with "benchmark" and "records" keys whose braces,
+/// brackets, and strings balance — depth returns to zero exactly at the
+/// final byte. The balance pass is what rejects a TRUNCATED file, which
+/// typically still ends at some inner '}' (a crashed child's partial
+/// write); checking front/back characters alone would embed it.
 [[nodiscard]] bool looks_like_bench_json(const std::string& text);
 
 /// Render the merged longitudinal JSON. `context` entries are emitted as
@@ -64,17 +104,39 @@ struct SweepRun {
     const std::vector<SweepRun>& runs, std::size_t expected_runs,
     const std::vector<std::pair<std::string, std::string>>& context);
 
+/// Merge with quarantined cells: emits the "failed_runs" section after
+/// "runs" (omitted when `failed` is empty — byte-identical to the overload
+/// above in that case).
+[[nodiscard]] std::string merge_sweep_json(
+    const std::vector<SweepRun>& runs, const std::vector<FailedRun>& failed,
+    std::size_t expected_runs,
+    const std::vector<std::pair<std::string, std::string>>& context);
+
 /// Count the runs embedded in a merged file (occurrences of the
 /// "sweep_run_id" key).
 [[nodiscard]] std::size_t count_merged_runs(const std::string& merged_text);
 
+/// Count the quarantined cells (occurrences of the "failed_run_id" key).
+[[nodiscard]] std::size_t count_failed_runs(const std::string& merged_text);
+
 /// Extract the recorded "expected_runs" count (0 when absent/unparsable).
 [[nodiscard]] std::size_t expected_runs_of(const std::string& merged_text);
 
-/// True when the merged file holds exactly the runs it promises —
-/// `expect` == 0 trusts the file's own expected_runs. The
-/// `cobra_sweep --validate` ctest and the CI sweep-smoke step both call
-/// this; a dropped run (crashed child, unwritable file) fails it.
+/// Re-extract the completed runs from a merged file — the inverse of
+/// merge_sweep_json, used by `cobra_sweep --resume` to skip cells a
+/// previous (interrupted or partially failed) sweep already finished.
+/// Structural parse: brace-matched "result" bodies are de-indented back to
+/// the child's original text; quarantined cells are NOT returned (resume
+/// retries them). Throws std::invalid_argument on a malformed file.
+[[nodiscard]] std::vector<SweepRun> extract_merged_runs(
+    const std::string& merged_text);
+
+/// True when the merged file accounts for exactly the cells it promises:
+/// completed runs + quarantined failed_runs == expected. `expect` == 0
+/// trusts the file's own expected_runs. The `cobra_sweep --validate`
+/// ctest and the CI sweep-smoke step both call this; a silently dropped
+/// run (crashed child, unwritable file) fails it, an explicitly
+/// quarantined one does not.
 [[nodiscard]] bool validate_merged_sweep(const std::string& merged_text,
                                          std::size_t expect,
                                          std::string* error);

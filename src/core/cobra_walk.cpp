@@ -34,6 +34,28 @@ void CobraWalk::reset(std::span<const Vertex> starts) {
   }
 }
 
+void CobraWalk::save_state(util::CheckpointWriter& w) const {
+  w.u64(round_);
+  w.u64(samples_);
+  w.u32_span(frontier_.vertices());
+}
+
+void CobraWalk::restore_state(util::CheckpointReader& r) {
+  const std::uint64_t round = r.u64();
+  const std::uint64_t samples = r.u64();
+  const std::vector<Vertex> verts = r.u32_span();
+  util::require_canonical_vertices(verts, g_->num_vertices(),
+                                   "CobraWalk frontier");
+  if (verts.empty()) {
+    // A k-cobra walk (k >= 1) can never go extinct; an empty frontier in a
+    // snapshot is corruption, not state.
+    throw util::CheckpointError("CobraWalk frontier: empty");
+  }
+  engine_.dedupe(verts, frontier_);
+  round_ = round;
+  samples_ = samples;
+}
+
 void CobraWalk::step(Engine& gen) {
   // Re-asserted every round: the walk KNOWS its exact emission rate, and
   // callers that assign a whole FrontierOptions (tests, benches) must not

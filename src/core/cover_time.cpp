@@ -30,6 +30,12 @@ void CoverageTracker::reset() {
   count_ = 0;
 }
 
+void CoverageTracker::restore_raw(std::span<const std::uint8_t> bytes) {
+  covered_.assign(bytes.begin(), bytes.end());
+  count_ = 0;
+  for (const std::uint8_t b : covered_) count_ += (b != 0) ? 1u : 0u;
+}
+
 std::uint64_t default_step_budget(std::uint32_t num_vertices) {
   // Worst case for simple RW cover is Θ(n^3); pad by 32x and floor the
   // budget so tiny graphs aren't budget-bound either.

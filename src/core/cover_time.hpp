@@ -37,6 +37,15 @@ class CoverageTracker {
                         : static_cast<double>(count_) / static_cast<double>(total());
   }
 
+  /// The covered-flag bytes verbatim (checkpoint serialization).
+  [[nodiscard]] std::span<const std::uint8_t> raw() const noexcept {
+    return covered_;
+  }
+
+  /// Replace the tracker's contents with previously saved `raw()` bytes
+  /// (the byte count is the vertex count) and recount.
+  void restore_raw(std::span<const std::uint8_t> bytes);
+
  private:
   std::vector<std::uint8_t> covered_;
   std::uint32_t count_ = 0;

@@ -1,6 +1,9 @@
 #include "core/frontier_engine.hpp"
 
+#include <new>
 #include <stdexcept>
+
+#include "util/fault.hpp"
 
 namespace cobra::core {
 
@@ -19,15 +22,12 @@ std::uint32_t FrontierEngine::advance_epoch() {
   return epoch_;
 }
 
-bool FrontierEngine::choose_dense(std::size_t frontier_size) {
-  bool dense;
+bool FrontierEngine::want_dense(std::size_t frontier_size) const {
   switch (opts_.mode) {
     case FrontierMode::ForceSparse:
-      dense = false;
-      break;
+      return false;
     case FrontierMode::ForceDense:
-      dense = true;
-      break;
+      return true;
     default: {
       // Enter dense above n / alpha; once dense, stay until the frontier
       // falls below half the entry threshold (hysteresis: a frontier
@@ -35,15 +35,41 @@ bool FrontierEngine::choose_dense(std::size_t frontier_size) {
       const double scaled =
           static_cast<double>(frontier_size) * opts_.dense_alpha;
       const auto n = static_cast<double>(g_->num_vertices());
-      dense = last_dense_ ? scaled * 2.0 >= n : scaled > n;
-      break;
+      return last_dense_ ? scaled * 2.0 >= n : scaled > n;
     }
   }
+}
+
+bool FrontierEngine::commit_mode(bool dense) {
   if (have_mode_ && dense != last_dense_) ++switches_;
   have_mode_ = true;
   last_dense_ = dense;
   ++(dense ? dense_rounds_ : sparse_rounds_);
   return dense;
+}
+
+bool FrontierEngine::acquire_dense_words(std::vector<std::uint64_t>& bits) {
+  if (util::fault::should_fail("frontier.dense_alloc")) return false;
+  try {
+    bits.reserve(num_words());
+  } catch (const std::bad_alloc&) {
+    return false;
+  }
+  return true;
+}
+
+bool FrontierEngine::choose_dense(std::size_t frontier_size,
+                                  std::vector<std::uint64_t>& dense_bits) {
+  bool dense = want_dense(frontier_size);
+  // The bitmap's O(n/64) words are the dense path's one allocation; if
+  // they can't be had, the sparse path still works in the memory the
+  // frontier already owns — identical results, degraded speed. Demote
+  // BEFORE committing, so hysteresis and counters see the real mode.
+  if (dense && !acquire_dense_words(dense_bits)) {
+    dense = false;
+    ++dense_fallbacks_;
+  }
+  return commit_mode(dense);
 }
 
 par::ThreadPool* FrontierEngine::pick_pool(std::size_t frontier_size) const {

@@ -325,6 +325,21 @@ class FrontierEngine {
   }
   [[nodiscard]] std::uint64_t switches() const noexcept { return switches_; }
 
+  /// Rounds that wanted the dense bitmap but could not get its storage
+  /// (allocation failure, or the "frontier.dense_alloc" fault site) and
+  /// ran sparse instead. The dense path is an optimization, so memory
+  /// pressure degrades throughput, never correctness — the sparse round
+  /// produces the identical frontier. Retried per round: the next round
+  /// re-attempts dense as usual.
+  [[nodiscard]] std::uint64_t dense_fallbacks() const noexcept {
+    return dense_fallbacks_;
+  }
+
+  /// Set the dedup epoch counter directly — ONLY for tests exercising the
+  /// 32-bit wrap path (e.g. a resumed run crossing the wrap) without
+  /// stepping 2^32 sparse rounds first.
+  void set_epoch_for_testing(std::uint32_t epoch) noexcept { epoch_ = epoch; }
+
   /// Total sink() invocations of the most recent expand round — i.e. the
   /// offspring emitted before dedup. Counted per worker and summed at the
   /// end (no shared atomic in the sampling loop), so callers whose
@@ -339,9 +354,22 @@ class FrontierEngine {
   /// Advance the epoch, wiping stamps on 32-bit wrap (the aliasing guard).
   std::uint32_t advance_epoch();
 
-  /// Pick the round's representation from the frontier size (with
-  /// hysteresis around the entry threshold) and update the counters.
-  bool choose_dense(std::size_t frontier_size);
+  /// Pick the round's representation: the size/hysteresis policy
+  /// (want_dense), then a guarded grab of the bitmap storage — a failed
+  /// grab (bad_alloc or the "frontier.dense_alloc" fault site) demotes the
+  /// round to sparse instead of propagating. Updates the mode counters for
+  /// the representation the round will ACTUALLY run.
+  bool choose_dense(std::size_t frontier_size,
+                    std::vector<std::uint64_t>& dense_bits);
+
+  /// The size/hysteresis policy alone (no side effects).
+  [[nodiscard]] bool want_dense(std::size_t frontier_size) const;
+
+  /// Record the round's representation (hysteresis memory + counters).
+  bool commit_mode(bool dense);
+
+  /// Ensure `bits` can hold num_words() words; false on failure.
+  bool acquire_dense_words(std::vector<std::uint64_t>& bits);
 
   /// The pool to use for a round of `work` estimated samples, or nullptr
   /// for the in-line path.
@@ -460,6 +488,7 @@ class FrontierEngine {
   std::uint64_t dense_rounds_ = 0;
   std::uint64_t sparse_rounds_ = 0;
   std::uint64_t switches_ = 0;
+  std::uint64_t dense_fallbacks_ = 0;
   std::uint64_t last_emitted_ = 0;
 };
 
@@ -609,7 +638,7 @@ void FrontierEngine::expand(const Frontier& frontier, Frontier& next,
   if (frontier.empty()) return;  // no epoch/bitmap burn for extinct processes
 
   const FrontierView in(frontier);
-  if (choose_dense(in.size())) {
+  if (choose_dense(in.size(), next.bits_)) {
     expand_dense(in, next.bits_, next.count_, round_seed, sampler);
     next.dense_ = true;
     next.list_valid_ = false;  // materialized lazily by vertices()
@@ -628,7 +657,7 @@ void FrontierEngine::expand(std::span<const Vertex> frontier,
   if (frontier.empty()) return;
 
   const FrontierView in(frontier);  // asserts sortedness in debug builds
-  if (choose_dense(in.size())) {
+  if (choose_dense(in.size(), scratch_bits_)) {
     std::size_t count = 0;
     expand_dense(in, scratch_bits_, count, round_seed, sampler);
     materialize_bits(scratch_bits_, count, next);

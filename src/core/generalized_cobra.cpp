@@ -92,6 +92,23 @@ void GeneralizedCobraWalk::reset(std::span<const Vertex> starts) {
   }
 }
 
+void GeneralizedCobraWalk::save_state(util::CheckpointWriter& w) const {
+  w.u64(round_);
+  w.u64(samples_);
+  w.u32_span(frontier_.vertices());
+}
+
+void GeneralizedCobraWalk::restore_state(util::CheckpointReader& r) {
+  const std::uint64_t round = r.u64();
+  const std::uint64_t samples = r.u64();
+  const std::vector<Vertex> verts = r.u32_span();
+  util::require_canonical_vertices(verts, g_->num_vertices(),
+                                   "GeneralizedCobraWalk frontier");
+  engine_.dedupe(verts, frontier_);  // empty = extinct, legal here
+  round_ = round;
+  samples_ = samples;
+}
+
 void GeneralizedCobraWalk::step(Engine& gen) {
   if (frontier_.empty()) {  // extinct: keep the clock, skip the machinery
     ++round_;

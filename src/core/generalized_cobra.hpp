@@ -7,6 +7,7 @@
 
 #include "core/frontier_engine.hpp"
 #include "core/types.hpp"
+#include "util/checkpoint_io.hpp"
 
 /// \file generalized_cobra.hpp
 /// The branching generalizations §1 names and leaves open: "one could
@@ -92,6 +93,15 @@ class GeneralizedCobraWalk {
 
   /// The underlying step engine (chunking / pool / threshold knobs).
   [[nodiscard]] FrontierEngine& engine() noexcept { return engine_; }
+
+  /// Checkpointing (sim::Checkpointable). Mirrors CobraWalk, except an
+  /// EMPTY frontier is legitimate state here — extinction is a modeled
+  /// outcome of 0-returning schedules, and a snapshot of an extinct walk
+  /// restores to an extinct walk. The schedule itself is a construction
+  /// argument (possibly a closure) and is NOT serialized; resuming with a
+  /// different schedule is the caller's bug, same as a different graph.
+  void save_state(util::CheckpointWriter& w) const;
+  void restore_state(util::CheckpointReader& r);
 
  private:
   const Graph* g_;

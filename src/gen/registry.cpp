@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
@@ -356,6 +357,23 @@ Graph build_graph(const GraphSpec& spec, const GenOptions& opts) {
   Graph g = info->factory(spec, opts);
   if (spec.get_bool("lcc", false)) {
     g = graph::largest_component(g).graph;
+  }
+  // Post-build CSR audit (Graph::validate): on in debug builds, and
+  // opt-in anywhere via COBRA_VALIDATE_GRAPH=1 — a generator bug that
+  // emits an asymmetric CSR corrupts statistics silently, so the paranoid
+  // lanes pay the O(m) check and release benches don't.
+#ifdef NDEBUG
+  const char* check = std::getenv("COBRA_VALIDATE_GRAPH");
+  const bool audit = check != nullptr && *check != '\0' && *check != '0';
+#else
+  const bool audit = true;
+#endif
+  if (audit) {
+    std::string why;
+    if (!g.validate(&why)) {
+      throw std::logic_error("build_graph('" + spec.family() +
+                             "'): generator produced an invalid CSR: " + why);
+    }
   }
   return g;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace cobra::graph {
@@ -62,6 +63,67 @@ bool Graph::is_simple() const {
       if (!seen.insert(u).second) return false;  // parallel edge
     }
   }
+  return true;
+}
+
+bool Graph::validate(std::string* error) const {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (offsets_.size() != static_cast<std::size_t>(n_) + 1) {
+    return fail("offsets size is " + std::to_string(offsets_.size()) +
+                ", expected n + 1 = " + std::to_string(n_ + 1));
+  }
+  if (offsets_.front() != 0) return fail("offsets[0] != 0");
+  if (offsets_.back() != targets_.size()) {
+    return fail("offsets[n] = " + std::to_string(offsets_.back()) +
+                " != num arcs " + std::to_string(targets_.size()));
+  }
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i) {
+    if (offsets_[i] > offsets_[i + 1]) {
+      return fail("offsets decrease at vertex " + std::to_string(i));
+    }
+  }
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i] >= n_) {
+      return fail("arc " + std::to_string(i) + " targets vertex " +
+                  std::to_string(targets_[i]) + " >= n = " +
+                  std::to_string(n_));
+    }
+  }
+  // Arc symmetry with multiplicity: tally +1 for each arc (u, v) with
+  // u < v and -1 for each (v, u); every key must net to zero. Self-loop
+  // arcs (u, u) tally separately — a loop is stored as TWO arcs (it
+  // contributes 2 to its endpoint's degree), so each vertex's loop-arc
+  // count must be even.
+  std::unordered_map<std::uint64_t, std::int64_t> balance;
+  balance.reserve(targets_.size());
+  for (Vertex u = 0; u < n_; ++u) {
+    for (const Vertex v : neighbors(u)) {
+      if (u == v) {
+        balance[(static_cast<std::uint64_t>(u) << 32) | u] += 1;
+      } else if (u < v) {
+        balance[(static_cast<std::uint64_t>(u) << 32) | v] += 1;
+      } else {
+        balance[(static_cast<std::uint64_t>(v) << 32) | u] -= 1;
+      }
+    }
+  }
+  for (const auto& [key, delta] : balance) {
+    const auto u = static_cast<Vertex>(key >> 32);
+    const auto v = static_cast<Vertex>(key & 0xFFFFFFFFu);
+    if (u == v) {
+      if (delta % 2 != 0) {
+        return fail("odd self-loop arc count at vertex " + std::to_string(u));
+      }
+    } else if (delta != 0) {
+      return fail("asymmetric edge {" + std::to_string(u) + ", " +
+                  std::to_string(v) + "}: arc multiplicities differ by " +
+                  std::to_string(delta < 0 ? -delta : delta));
+    }
+  }
+  if (error != nullptr) error->clear();
   return true;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 /// \file graph.hpp
@@ -80,6 +81,16 @@ class Graph {
 
   /// True if u and v are adjacent (O(deg) scan; fine for tests/assertions).
   [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  /// Full CSR invariant check, INCLUDING the arc symmetry the constructor
+  /// deliberately skips: offsets shape/monotonicity, targets in range, and
+  /// every arc (u, v) matched by a (v, u) with equal multiplicity (checked
+  /// via a sort-free +/-1 keyed-hash tally, O(m) expected). Returns false
+  /// and describes the first violation in `*error` (when non-null). This
+  /// is the debug-mode safety net behind every generator build (see
+  /// gen/registry.cpp) — a generator bug that emits an asymmetric CSR
+  /// would otherwise surface as a wrong STATISTIC, not a crash.
+  [[nodiscard]] bool validate(std::string* error = nullptr) const;
 
   /// Sum of degrees of all vertices (= num_arcs).
   [[nodiscard]] std::uint64_t volume() const noexcept { return targets_.size(); }

@@ -1,0 +1,139 @@
+#include "sim/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/fault.hpp"
+
+namespace cobra::sim {
+
+namespace {
+
+/// RAII stdio handle — snapshot files are small and written whole, so
+/// plain fread/fwrite beats iostream ceremony and gives exact error codes.
+struct File {
+  std::FILE* f = nullptr;
+  explicit File(const std::string& path, const char* mode)
+      : f(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f != nullptr) std::fclose(f);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+};
+
+void append_header(util::CheckpointWriter& w,
+                   const std::vector<std::uint8_t>& payload) {
+  w.u32(kSnapshotMagic);
+  w.u32(kSnapshotVersion);
+  w.u64(payload.size());
+  w.u64(util::fnv1a64(payload));
+}
+
+}  // namespace
+
+void write_snapshot_file(const std::string& path,
+                         const std::vector<std::uint8_t>& payload) {
+  if (util::fault::should_fail("checkpoint.write")) {
+    throw util::CheckpointError("injected fault at checkpoint.write");
+  }
+  util::CheckpointWriter header;
+  append_header(header, payload);
+
+  // Write to a sibling temp file and rename over the target: rename(2) is
+  // atomic on POSIX, so a crash at any point leaves either the previous
+  // snapshot or the new one — never a torn file.
+  const std::string tmp = path + ".tmp";
+  {
+    File out(tmp, "wb");
+    if (out.f == nullptr) {
+      throw util::CheckpointError("cannot open '" + tmp + "' for writing");
+    }
+    const auto& head = header.buffer();
+    if (std::fwrite(head.data(), 1, head.size(), out.f) != head.size() ||
+        (!payload.empty() &&
+         std::fwrite(payload.data(), 1, payload.size(), out.f) !=
+             payload.size()) ||
+        std::fflush(out.f) != 0) {
+      throw util::CheckpointError("short write to '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw util::CheckpointError("rename '" + tmp + "' -> '" + path +
+                                "' failed: " + ec.message());
+  }
+}
+
+std::vector<std::uint8_t> read_snapshot_file(const std::string& path) {
+  if (util::fault::should_fail("checkpoint.read")) {
+    throw util::CheckpointError("injected fault at checkpoint.read");
+  }
+  File in(path, "rb");
+  if (in.f == nullptr) {
+    throw util::CheckpointError("cannot open snapshot '" + path + "'");
+  }
+  constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 8;
+  std::vector<std::uint8_t> head(kHeaderSize);
+  if (std::fread(head.data(), 1, kHeaderSize, in.f) != kHeaderSize) {
+    throw util::CheckpointError("snapshot '" + path +
+                                "' is shorter than its header");
+  }
+  util::CheckpointReader r(head);
+  const std::uint32_t magic = r.u32();
+  if (magic != kSnapshotMagic) {
+    throw util::CheckpointError("'" + path + "' is not a snapshot file");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion) {
+    throw util::CheckpointError("snapshot '" + path + "' has version " +
+                                std::to_string(version) + ", expected " +
+                                std::to_string(kSnapshotVersion));
+  }
+  const std::uint64_t size = r.u64();
+  const std::uint64_t crc = r.u64();
+  // Guard the allocation: a corrupt size field must not turn into a
+  // multi-gigabyte allocation attempt before the checksum can reject it.
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  if (ec || file_size < kHeaderSize ||
+      size != file_size - kHeaderSize) {
+    throw util::CheckpointError("snapshot '" + path +
+                                "' payload size mismatch (truncated?)");
+  }
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(size));
+  if (!payload.empty() &&
+      std::fread(payload.data(), 1, payload.size(), in.f) != payload.size()) {
+    throw util::CheckpointError("snapshot '" + path + "' payload truncated");
+  }
+  if (util::fnv1a64(payload) != crc) {
+    throw util::CheckpointError("snapshot '" + path + "' checksum mismatch");
+  }
+  return payload;
+}
+
+bool snapshot_valid(const std::string& path) noexcept {
+  try {
+    (void)read_snapshot_file(path);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+namespace detail {
+
+void save_engine(util::CheckpointWriter& w, const core::Engine& gen) {
+  for (const std::uint64_t word : gen.state()) w.u64(word);
+}
+
+void restore_engine(util::CheckpointReader& r, core::Engine& gen) {
+  std::array<std::uint64_t, 4> state{};
+  for (auto& word : state) word = r.u64();
+  gen.set_state(state);
+}
+
+}  // namespace detail
+
+}  // namespace cobra::sim

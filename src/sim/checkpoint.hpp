@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/process.hpp"
+#include "util/checkpoint_io.hpp"
+
+/// \file checkpoint.hpp
+/// Durable snapshots of a running simulation — the checkpoint/resume half
+/// of the resilience layer. A multi-hour COBRA or resampling run killed at
+/// round 10^7 must continue from its last snapshot with the EXACT
+/// trajectory an uninterrupted run would have produced, at any thread
+/// count. Three pieces make that hold:
+///
+///   1. The per-round randomness is a pure function of the caller engine's
+///      one round_seed draw (the frontier engine's determinism contract),
+///      so snapshotting the 256-bit engine state replays the identical
+///      seed stream.
+///   2. Process state is serialized in CANONICAL form — the frontier as
+///      its sorted ascending vertex list — so the snapshot is independent
+///      of the sparse/dense representation the engine happened to be in.
+///      A resumed run may re-enter the representation hysteresis from the
+///      sparse side; by the engine contract that can change speed, never
+///      results.
+///   3. The Runner's own progress (rounds completed, against the same
+///      budget) rides in the snapshot, together with the optional state of
+///      stop rules and observers (CoverStop's coverage set, FirstVisitTimes'
+///      table), restored through the same structural-hook mechanism the
+///      Runner already uses for start/observe.
+///
+/// File format (little-endian):
+///
+///   header: magic "CBCK" (u32) | version (u32) | payload_size (u64)
+///           | payload_fnv1a64 (u64)
+///   payload: the CheckpointWriter byte stream (process state, engine
+///            state, rounds, stop/observer state — in Runner order)
+///
+/// Writes are atomic (temp file + rename), so a crash mid-snapshot leaves
+/// the previous snapshot intact, never a torn file; reads verify magic,
+/// version, size, and checksum and throw util::CheckpointError on any
+/// mismatch, so a truncated file is a clean failure, not UB. Snapshot I/O
+/// carries the "checkpoint.write" / "checkpoint.read" fault-injection
+/// sites (util/fault.hpp): periodic snapshot failures inside the Runner
+/// degrade to a warning (the run continues, the previous snapshot
+/// survives); resume failures throw.
+
+namespace cobra::sim {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x4B434243u;  // "CBCK"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// A process that can round-trip its state through the checkpoint byte
+/// stream. Contract: `restore_state` must leave the process exactly as the
+/// saved one was (active set, round counter, auxiliary counters), given
+/// that the process was CONSTRUCTED with the same arguments (graph, start,
+/// branching/schedule/mode) — construction parameters are the caller's to
+/// reproduce, the snapshot holds only evolving state.
+template <typename P>
+concept Checkpointable =
+    Process<P> && requires(P p, const P cp, util::CheckpointWriter& w,
+                           util::CheckpointReader& r) {
+      cp.save_state(w);
+      p.restore_state(r);
+    };
+
+/// Serialize `payload` to `path` atomically (temp + rename). Throws
+/// util::CheckpointError on I/O failure or an armed "checkpoint.write"
+/// fault.
+void write_snapshot_file(const std::string& path,
+                         const std::vector<std::uint8_t>& payload);
+
+/// Read and verify a snapshot file; returns the payload. Throws
+/// util::CheckpointError on a missing/truncated/corrupt file, a magic or
+/// version mismatch, or an armed "checkpoint.read" fault.
+[[nodiscard]] std::vector<std::uint8_t> read_snapshot_file(
+    const std::string& path);
+
+/// True when `path` holds a readable, checksum-valid snapshot (the cheap
+/// "can I resume?" probe; never throws).
+[[nodiscard]] bool snapshot_valid(const std::string& path) noexcept;
+
+namespace detail {
+
+/// Engine (xoshiro256++) state to/from the payload.
+void save_engine(util::CheckpointWriter& w, const core::Engine& gen);
+void restore_engine(util::CheckpointReader& r, core::Engine& gen);
+
+}  // namespace detail
+
+}  // namespace cobra::sim

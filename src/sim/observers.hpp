@@ -9,6 +9,7 @@
 #include "core/types.hpp"
 #include "sim/process.hpp"
 #include "stats/histogram.hpp"
+#include "util/checkpoint_io.hpp"
 
 /// \file observers.hpp
 /// Observers for sim::Runner — the "recording" half of every experiment.
@@ -21,6 +22,11 @@
 /// caller owns and reads after the run; a run with no observers compiles to
 /// the bare step loop (the hooks fold away), so measurement never taxes a
 /// run that doesn't want it.
+///
+/// History-accumulating observers (GrowthCurve, FirstVisitTimes) also
+/// provide save_state/restore_state so their records survive the Runner's
+/// checkpoint/resume — a resumed run's curve/visit table equals the
+/// uninterrupted run's.
 
 namespace cobra::sim {
 
@@ -52,6 +58,19 @@ class GrowthCurve {
   [[nodiscard]] std::size_t peak() const {
     return sizes_.empty() ? 0
                           : *std::max_element(sizes_.begin(), sizes_.end());
+  }
+
+  void save_state(util::CheckpointWriter& w) const {
+    w.u64(sizes_.size());
+    for (const std::size_t s : sizes_) w.u64(s);
+  }
+  void restore_state(util::CheckpointReader& r) {
+    const std::uint64_t count = r.u64();
+    sizes_.clear();
+    sizes_.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      sizes_.push_back(static_cast<std::size_t>(r.u64()));
+    }
   }
 
  private:
@@ -97,6 +116,15 @@ class FirstVisitTimes {
       if (t != kNever) last = std::max(last, t);
     }
     return last;
+  }
+
+  void save_state(util::CheckpointWriter& w) const {
+    w.u64(rounds_);
+    w.u64_span(first_);
+  }
+  void restore_state(util::CheckpointReader& r) {
+    rounds_ = r.u64();
+    first_ = r.u64_span();
   }
 
  private:

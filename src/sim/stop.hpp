@@ -9,6 +9,7 @@
 #include "core/cover_time.hpp"
 #include "core/types.hpp"
 #include "sim/process.hpp"
+#include "util/checkpoint_io.hpp"
 
 /// \file stop.hpp
 /// Stop rules for sim::Runner — the "until" half of every experiment
@@ -23,6 +24,12 @@
 /// for hooks a rule doesn't declare). Rules are plain values the caller
 /// owns, so a bench can interrogate them after the run (covered count, hit
 /// round, ...). Compose with `any_of(a, b, ...)`.
+///
+/// Rules whose verdict depends on run HISTORY (not just the current
+/// process state) additionally provide save_state/restore_state for the
+/// Runner's checkpointing: CoverStop's coverage set, HitTarget's latch,
+/// FixedRounds' anchor round. Stateless rules (Extinction, Until) need
+/// nothing — the Runner's restore falls back to start().
 
 namespace cobra::sim {
 
@@ -57,6 +64,23 @@ class CoverStop {
     return tracker_ ? tracker_->fraction() : 0.0;
   }
 
+  /// Coverage is history, not derivable from the frontier — it must ride
+  /// in every snapshot. The byte count doubles as the vertex count on
+  /// restore, so no process handle is needed.
+  void save_state(util::CheckpointWriter& w) const {
+    w.u8(tracker_.has_value() ? 1 : 0);
+    if (tracker_) w.bytes(tracker_->raw());
+  }
+  void restore_state(util::CheckpointReader& r) {
+    if (r.u8() == 0) {
+      tracker_.reset();
+      return;
+    }
+    const std::vector<std::uint8_t> raw = r.bytes();
+    tracker_.emplace(static_cast<std::uint32_t>(raw.size()));
+    tracker_->restore_raw(raw);
+  }
+
  private:
   std::optional<core::CoverageTracker> tracker_;
 };
@@ -86,6 +110,10 @@ class HitTarget {
   [[nodiscard]] core::Vertex target() const noexcept { return target_; }
   [[nodiscard]] bool hit() const noexcept { return hit_; }
 
+  /// The latch is history (the target may have left the active set since).
+  void save_state(util::CheckpointWriter& w) const { w.u8(hit_ ? 1 : 0); }
+  void restore_state(util::CheckpointReader& r) { hit_ = r.u8() != 0; }
+
  private:
   template <Process P>
   void scan(const P& p) {
@@ -113,6 +141,11 @@ class FixedRounds {
   [[nodiscard]] bool done(const P& p) const noexcept {
     return p.round() - start_round_ >= rounds_;
   }
+
+  /// Without the anchor, a resumed run would re-anchor at the snapshot
+  /// round and run `rounds_` MORE steps instead of finishing the horizon.
+  void save_state(util::CheckpointWriter& w) const { w.u64(start_round_); }
+  void restore_state(util::CheckpointReader& r) { start_round_ = r.u64(); }
 
  private:
   std::uint64_t rounds_;
@@ -177,6 +210,15 @@ class AnyOf {
                       rules_);
   }
 
+  /// Checkpoint pass-through: members serialize in pack order, stateless
+  /// members contribute zero bytes (mirroring the Runner's own hooks).
+  void save_state(util::CheckpointWriter& w) const {
+    std::apply([&](const Rules&... r) { (detail_save(r, w), ...); }, rules_);
+  }
+  void restore_state(util::CheckpointReader& rd) {
+    std::apply([&](Rules&... r) { (detail_restore(r, rd), ...); }, rules_);
+  }
+
  private:
   template <typename R, Process P>
   static void detail_start(R& rule, const P& p) {
@@ -185,6 +227,14 @@ class AnyOf {
   template <typename R, Process P>
   static void detail_observe(R& rule, const P& p) {
     if constexpr (requires { rule.observe(p); }) rule.observe(p);
+  }
+  template <typename R>
+  static void detail_save(const R& rule, util::CheckpointWriter& w) {
+    if constexpr (requires { rule.save_state(w); }) rule.save_state(w);
+  }
+  template <typename R>
+  static void detail_restore(R& rule, util::CheckpointReader& rd) {
+    if constexpr (requires { rule.restore_state(rd); }) rule.restore_state(rd);
   }
 
   std::tuple<Rules&...> rules_;

@@ -1,0 +1,128 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <deque>
+#include <mutex>
+
+namespace cobra::util::fault {
+
+namespace detail {
+std::atomic<bool> any_armed{false};
+}  // namespace detail
+
+namespace {
+
+struct Site {
+  std::string name;
+  std::uint64_t after = 0;
+  std::atomic<std::uint64_t> hits{0};
+
+  Site(std::string n, std::uint64_t a) : name(std::move(n)), after(a) {}
+};
+
+/// Registry storage. Sites are appended under the lock and never removed
+/// while armed (disarm_all clears wholesale), so the lock-free query path
+/// only needs a stable snapshot of the vector — which a mutex-guarded
+/// read provides; the query takes the lock too, but only AFTER the
+/// any_armed gate, i.e. never in a fault-free run.
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::deque<Site>& registry() {
+  static std::deque<Site> sites;
+  return sites;
+}
+
+}  // namespace
+
+void arm(std::string_view site, std::uint64_t after) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  auto& sites = registry();
+  for (Site& s : sites) {
+    if (s.name == site) {
+      s.after = after;
+      s.hits.store(0, std::memory_order_relaxed);
+      detail::any_armed.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+  sites.emplace_back(std::string(site), after);
+  detail::any_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+  detail::any_armed.store(false, std::memory_order_relaxed);
+}
+
+bool should_fail_slow(std::string_view site) noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (Site& s : registry()) {
+    if (s.name == site) {
+      const std::uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed);
+      return hit >= s.after;
+    }
+  }
+  return false;
+}
+
+std::uint64_t hits(std::string_view site) noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const Site& s : registry()) {
+    if (s.name == site) return s.hits.load(std::memory_order_relaxed);
+  }
+  return 0;
+}
+
+std::size_t arm_from_env() {
+  const char* env = std::getenv("COBRA_FAULT");
+  if (env == nullptr || *env == '\0') return 0;
+  std::size_t armed = 0;
+  const std::string text(env);
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t at = entry.find('@');
+    const std::string name = entry.substr(0, at);
+    std::uint64_t after = 0;
+    bool ok = !name.empty();
+    if (ok && at != std::string::npos) {
+      const std::string count = entry.substr(at + 1);
+      std::size_t consumed = 0;
+      try {
+        after = std::stoull(count, &consumed);
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      if (consumed != count.size()) ok = false;
+    }
+    if (!ok) {
+      std::cerr << "[fault] WARNING: ignoring malformed COBRA_FAULT entry '"
+                << entry << "' (want site[@after])\n";
+      continue;
+    }
+    arm(name, after);
+    ++armed;
+  }
+  return armed;
+}
+
+std::vector<std::string> armed_sites() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> out;
+  out.reserve(registry().size());
+  for (const Site& s : registry()) {
+    out.push_back(s.name + "@" + std::to_string(s.after));
+  }
+  return out;
+}
+
+}  // namespace cobra::util::fault

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file fault.hpp
+/// Fault-injection registry — the failure-testing backbone of the
+/// resilience layer. Code that can fail in production (allocation on the
+/// dense-frontier switch, snapshot I/O, bench child startup) declares a
+/// named *site*; tests and the sweep driver *arm* sites to fail, and the
+/// site's `should_fail()` query tells the code to take its degradation
+/// path exactly as a real failure would.
+///
+/// Design constraints, in priority order:
+///
+///   1. ZERO cost when disabled. Sites sit on hot paths (the frontier
+///      engine's representation switch), so the disabled check is one
+///      relaxed load of a global atomic flag that is false unless
+///      something armed a fault — no string compare, no map lookup, no
+///      lock. Arming is test/startup-time only and may be slow.
+///   2. Deterministic. A site armed with `after = k` fails on its k-th
+///      hit (0-based) and every later hit, so "crash the 3rd snapshot"
+///      is a reproducible scenario, not a race.
+///   3. Thread-safe queries. Sites are hit from pool workers; the hit
+///      counter is atomic and arming mutates the registry only under its
+///      own lock (callers must not arm concurrently with queries of the
+///      same test — the normal arm-then-run pattern).
+///
+/// Arming paths:
+///   * programmatic: `arm_fault("frontier.dense_alloc", 2)` in a test;
+///   * environment: `COBRA_FAULT="site[@after][,site...]"` parsed by
+///     `arm_faults_from_env()`, which benches call at startup — this is
+///     how a *child process* of the sweep driver gets its faults armed
+///     without new flags on every bench.
+///
+/// Registered site names in this repo (grep for `fault::should_fail`):
+///   frontier.dense_alloc   dense-bitmap allocation in the frontier
+///                          engine (degrades to the sparse path)
+///   checkpoint.write       snapshot serialization (periodic snapshots
+///                          warn and continue; explicit saves throw)
+///   checkpoint.read        snapshot deserialization (resume fails loudly)
+
+namespace cobra::util::fault {
+
+namespace detail {
+/// The one-word disabled gate. Never set directly — arm/disarm own it.
+extern std::atomic<bool> any_armed;
+}  // namespace detail
+
+/// True when at least one site is armed — the cheap gate every site
+/// checks first.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::any_armed.load(std::memory_order_relaxed);
+}
+
+/// Arm `site`: its `should_fail()` returns true from the `after`-th hit
+/// (0-based) onward. Re-arming an armed site resets its hit counter.
+void arm(std::string_view site, std::uint64_t after = 0);
+
+/// Disarm every site and reset all hit counters (test teardown).
+void disarm_all();
+
+/// Slow path: count a hit against `site` and report whether it should
+/// fail now. Only called when `enabled()`; unarmed sites never fail.
+[[nodiscard]] bool should_fail_slow(std::string_view site) noexcept;
+
+/// The site query: false (one relaxed load) unless some fault is armed.
+[[nodiscard]] inline bool should_fail(std::string_view site) noexcept {
+  return enabled() && should_fail_slow(site);
+}
+
+/// Hits recorded against `site` since it was (re-)armed; 0 when unarmed.
+/// Observability for tests asserting a site was actually reached.
+[[nodiscard]] std::uint64_t hits(std::string_view site) noexcept;
+
+/// Parse `COBRA_FAULT` ("site[@after][,site...]") and arm each entry.
+/// Returns the number of sites armed (0 when unset/empty). Malformed
+/// entries are skipped with a warning on stderr — a typo'd injection
+/// must not turn into a silently fault-free run, so the warning names
+/// the dropped token.
+std::size_t arm_from_env();
+
+/// The armed sites as "name@after" strings (diagnostics / tests).
+[[nodiscard]] std::vector<std::string> armed_sites();
+
+}  // namespace cobra::util::fault

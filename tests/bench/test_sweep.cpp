@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -108,6 +109,111 @@ TEST(Caps, RenderAndParseRoundTrip) {
   caps.graph = bench::BenchCaps::Graph::Partial;
   EXPECT_EQ(bench::parse_caps_graph(bench::render_caps(caps, {})),
             bench::BenchCaps::Graph::Partial);
+}
+
+TEST(SweepMerge, TruncatedRealRecordPrefixesAreRejected) {
+  // A crashed child typically leaves a PREFIX of a real record, which ends
+  // at some inner '}' — the front/back-char check alone would embed it.
+  // Fuzz every prefix of an actual JsonReporter rendering.
+  bench::JsonReporter reporter("bench_demo");
+  reporter.context("graph", "ring:n=64");
+  reporter.record("cover").field("rounds", 12.0).field("note", "a\"b\\c");
+  const std::string full = reporter.render();
+  ASSERT_TRUE(bench::looks_like_bench_json(full));
+  const auto rtrim = [](std::string s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+      s.pop_back();
+    }
+    return s;
+  };
+  const std::string complete = rtrim(full);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::string prefix = full.substr(0, len);
+    // Losing only trailing whitespace leaves the document complete; every
+    // prefix that lost CONTENT must be rejected.
+    if (rtrim(prefix) == complete) continue;
+    EXPECT_FALSE(bench::looks_like_bench_json(prefix))
+        << "prefix length " << len << " accepted";
+  }
+}
+
+TEST(SweepMerge, FailedRunsAreCountedAndKeepValidationHonest) {
+  const std::string child = "{ \"benchmark\": \"demo\", \"records\": [] }";
+  std::vector<bench::SweepRun> runs = {{"bench_demo", "ring:n=64", 1, child}};
+  std::vector<bench::FailedRun> failed = {
+      {"bench_demo", "ring:n=64", 2, 3, "exit 86"}};
+  // 1 completed + 1 quarantined == 2 expected: valid.
+  const std::string merged = bench::merge_sweep_json(runs, failed, 2, {});
+  EXPECT_EQ(bench::count_merged_runs(merged), 1u);
+  EXPECT_EQ(bench::count_failed_runs(merged), 1u);
+  std::string error;
+  EXPECT_TRUE(bench::validate_merged_sweep(merged, 0, &error)) << error;
+  EXPECT_TRUE(bench::validate_merged_sweep(merged, 2, &error)) << error;
+  // The quarantine is explicit — it cannot stand in for MORE cells.
+  EXPECT_FALSE(bench::validate_merged_sweep(merged, 3, &error));
+  EXPECT_NE(merged.find("\"reason\": \"exit 86\""), std::string::npos);
+  EXPECT_NE(merged.find("\"attempts\": 3"), std::string::npos);
+
+  // Empty quarantine emits byte-identical output to the 3-arg overload —
+  // the schema only grows when something actually failed.
+  EXPECT_EQ(bench::merge_sweep_json(runs, {}, 1, {}),
+            bench::merge_sweep_json(runs, 1, {}));
+}
+
+TEST(SweepRetry, BackoffGrowsExponentiallyAndCaps) {
+  bench::RetryPolicy policy;  // 200 ms doubling
+  EXPECT_EQ(bench::backoff_delay_ms(policy, 0), 200u);
+  EXPECT_EQ(bench::backoff_delay_ms(policy, 1), 400u);
+  EXPECT_EQ(bench::backoff_delay_ms(policy, 2), 800u);
+  // The cap defuses typo'd factors: never parks the sweep past 60 s.
+  EXPECT_EQ(bench::backoff_delay_ms(policy, 40), 60000u);
+  policy.factor = 0.1;  // shrinking backoff makes no sense; floored at 1.0
+  EXPECT_EQ(bench::backoff_delay_ms(policy, 5), 200u);
+}
+
+TEST(SweepResume, ExtractInvertsTheMergeExactly) {
+  bench::JsonReporter reporter("bench_demo");
+  reporter.context("note", "quoted \"text\" and a\\path");
+  reporter.record("cover").field("rounds", 17.0);
+  const std::string child = reporter.render();
+  ASSERT_TRUE(bench::looks_like_bench_json(child));
+  const std::vector<bench::SweepRun> runs = {
+      {"bench_demo", "rreg:n=128,d=4,seed=1", 1, child},
+      {"bench_demo", "rreg:n=128,d=4,seed=1", 8, child},
+  };
+  const std::vector<bench::FailedRun> failed = {
+      {"bench_demo", "ring:n=64", 1, 2, "timeout after 1s (exit 124)"}};
+  const std::string merged = bench::merge_sweep_json(runs, failed, 3, {});
+  const auto extracted = bench::extract_merged_runs(merged);
+  // Quarantined cells are NOT extracted — resume must retry them.
+  ASSERT_EQ(extracted.size(), 2u);
+  for (std::size_t i = 0; i < extracted.size(); ++i) {
+    EXPECT_EQ(extracted[i].bench, runs[i].bench);
+    EXPECT_EQ(extracted[i].spec, runs[i].spec);
+    EXPECT_EQ(extracted[i].threads, runs[i].threads);
+    EXPECT_EQ(extracted[i].json_text, runs[i].json_text)
+        << "embedded JSON did not round-trip for run " << i;
+  }
+  // Re-merging the extraction reproduces a valid file.
+  std::string error;
+  EXPECT_TRUE(bench::validate_merged_sweep(
+      bench::merge_sweep_json(extracted, 2, {}), 2, &error))
+      << error;
+}
+
+TEST(SweepResume, ExtractRejectsMalformedFiles) {
+  // A marker with none of the required fields after it.
+  EXPECT_THROW((void)bench::extract_merged_runs("{ \"sweep_run_id\": 0 }"),
+               std::invalid_argument);
+  // A run entry whose result object never closes (a torn merged file).
+  const std::string broken =
+      "{ \"sweep\": \"cobra_sweep\",\n"
+      "  \"runs\": [ { \"sweep_run_id\": 0, \"bench\": \"b\", "
+      "\"spec\": \"s\", \"threads\": 1, \"result\": { \"x\": 1 ";
+  EXPECT_THROW((void)bench::extract_merged_runs(broken),
+               std::invalid_argument);
+  // A file with no runs at all extracts to empty, not an error.
+  EXPECT_TRUE(bench::extract_merged_runs("{}").empty());
 }
 
 TEST(Caps, MissingTokenDefaultsToEffective) {

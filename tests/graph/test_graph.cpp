@@ -114,5 +114,54 @@ TEST(Graph, IrregularDegrees) {
   EXPECT_EQ(g.max_degree(), 1u);
 }
 
+TEST(Graph, ValidateAcceptsBuilderOutput) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 4);
+  std::string why = "sentinel";
+  EXPECT_TRUE(b.build().validate(&why));
+  EXPECT_TRUE(why.empty());  // success clears the error
+  EXPECT_TRUE(Graph(0, {0}, {}).validate(nullptr));
+}
+
+TEST(Graph, ValidateAcceptsSelfLoopsAndParallelEdges) {
+  // Non-simple but structurally sound: a loop stores two arcs, a parallel
+  // edge stores two in each direction.
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  std::string why;
+  EXPECT_TRUE(b.build().validate(&why)) << why;
+}
+
+TEST(Graph, ValidateCatchesAsymmetricArcs) {
+  // The constructor trusts its caller on arc symmetry (the documented
+  // contract); validate() is the audit that catches a generator emitting
+  // the arc 0->1 without its mate.
+  const Graph g(2, {0, 1, 1}, {1});
+  std::string why;
+  EXPECT_FALSE(g.validate(&why));
+  EXPECT_NE(why.find("asymmetric"), std::string::npos) << why;
+}
+
+TEST(Graph, ValidateCatchesArcMultiplicityMismatch) {
+  // 0->1 twice but 1->0 once: each direction exists, multiplicities differ.
+  const Graph g(2, {0, 2, 3}, {1, 1, 0});
+  std::string why;
+  EXPECT_FALSE(g.validate(&why));
+  EXPECT_NE(why.find("asymmetric"), std::string::npos) << why;
+}
+
+TEST(Graph, ValidateCatchesOddSelfLoopArcs) {
+  // A single (0, 0) arc is half a self-loop — degree bookkeeping breaks.
+  const Graph g(2, {0, 1, 1}, {0});
+  std::string why;
+  EXPECT_FALSE(g.validate(&why));
+  EXPECT_NE(why.find("self-loop"), std::string::npos) << why;
+}
+
 }  // namespace
 }  // namespace cobra::graph

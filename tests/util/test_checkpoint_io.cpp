@@ -1,0 +1,110 @@
+// Tests for the checkpoint byte-stream layer: writer/reader round trips,
+// bounds-checked reads over truncated/corrupt buffers, length-prefix
+// overflow guards, and the canonical-vertex-list validator.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/checkpoint_io.hpp"
+
+namespace {
+
+using namespace cobra;
+using util::CheckpointError;
+using util::CheckpointReader;
+using util::CheckpointWriter;
+
+TEST(CheckpointIo, PrimitivesRoundTripInOrder) {
+  CheckpointWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  const std::vector<std::uint32_t> verts = {1, 5, 900};
+  w.u32_span(verts);
+  const std::vector<std::uint64_t> longs = {42, 0, UINT64_MAX};
+  w.u64_span(longs);
+  const std::vector<std::uint8_t> blob = {0, 1, 2, 255};
+  w.bytes(blob);
+
+  CheckpointReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.u32_span(), verts);
+  EXPECT_EQ(r.u64_span(), longs);
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(CheckpointIo, EveryTruncatedPrefixThrowsNotUb) {
+  CheckpointWriter w;
+  w.u64(7);
+  w.u32_span(std::vector<std::uint32_t>{10, 20, 30});
+  w.u8(1);
+  const auto& full = w.buffer();
+  // A reader over any strict prefix must hit a typed error somewhere
+  // before successfully completing the full read sequence.
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const std::vector<std::uint8_t> prefix(full.begin(),
+                                           full.begin() + static_cast<std::ptrdiff_t>(len));
+    CheckpointReader r(prefix);
+    EXPECT_THROW(
+        {
+          (void)r.u64();
+          (void)r.u32_span();
+          (void)r.u8();
+        },
+        CheckpointError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(CheckpointIo, HugeLengthPrefixIsRejectedBeforeAllocation) {
+  // A corrupt count of 2^61 elements would overflow count*4 and/or dwarf
+  // the buffer; both paths must throw instead of reserving.
+  CheckpointWriter w;
+  w.u64(UINT64_MAX / 2);
+  CheckpointReader r(w.buffer());
+  EXPECT_THROW((void)r.u32_span(), CheckpointError);
+
+  CheckpointWriter w2;
+  w2.u64(UINT64_MAX);  // count * 8 overflows outright
+  CheckpointReader r2(w2.buffer());
+  EXPECT_THROW((void)r2.u64_span(), CheckpointError);
+}
+
+TEST(CheckpointIo, SpanBodyShorterThanPrefixThrows) {
+  CheckpointWriter w;
+  w.u64(5);   // promises five u32s...
+  w.u32(1);   // ...delivers one
+  CheckpointReader r(w.buffer());
+  EXPECT_THROW((void)r.u32_span(), CheckpointError);
+}
+
+TEST(CheckpointIo, Fnv1a64DistinguishesPayloads) {
+  const std::vector<std::uint8_t> a = {1, 2, 3};
+  const std::vector<std::uint8_t> b = {1, 2, 4};
+  EXPECT_NE(util::fnv1a64(a), util::fnv1a64(b));
+  // Empty input is the FNV offset basis (pins the parameterization).
+  EXPECT_EQ(util::fnv1a64(std::vector<std::uint8_t>{}), 0xcbf29ce484222325ull);
+}
+
+TEST(CheckpointIo, CanonicalVertexValidation) {
+  const std::vector<std::uint32_t> good = {0, 3, 7, 99};
+  EXPECT_NO_THROW(util::require_canonical_vertices(good, 100, "t"));
+  EXPECT_NO_THROW(util::require_canonical_vertices({}, 100, "t"));
+
+  const std::vector<std::uint32_t> out_of_range = {0, 3, 100};
+  EXPECT_THROW(util::require_canonical_vertices(out_of_range, 100, "t"),
+               CheckpointError);
+  const std::vector<std::uint32_t> duplicate = {0, 3, 3, 7};
+  EXPECT_THROW(util::require_canonical_vertices(duplicate, 100, "t"),
+               CheckpointError);
+  const std::vector<std::uint32_t> descending = {7, 3};
+  EXPECT_THROW(util::require_canonical_vertices(descending, 100, "t"),
+               CheckpointError);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Tests for the fault-injection registry: disabled-by-default gating,
+// deterministic fail-from-k-th-hit semantics, re-arm/disarm, and the
+// COBRA_FAULT environment arming path benches use.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/fault.hpp"
+
+namespace {
+
+using namespace cobra;
+namespace fault = util::fault;
+
+/// Every test leaves the registry clean — a leaked armed site would make
+/// unrelated suites fail their "real" I/O.
+struct FaultTest : ::testing::Test {
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override {
+    fault::disarm_all();
+    ::unsetenv("COBRA_FAULT");
+  }
+};
+
+TEST_F(FaultTest, DisabledByDefault) {
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::should_fail("checkpoint.write"));
+  EXPECT_FALSE(fault::should_fail("no.such.site"));
+  EXPECT_EQ(fault::hits("checkpoint.write"), 0u);
+  EXPECT_TRUE(fault::armed_sites().empty());
+}
+
+TEST_F(FaultTest, ArmedSiteFailsImmediatelyOthersDoNot) {
+  fault::arm("checkpoint.write");
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_TRUE(fault::should_fail("checkpoint.write"));
+  EXPECT_FALSE(fault::should_fail("checkpoint.read"));
+  EXPECT_EQ(fault::hits("checkpoint.write"), 1u);
+}
+
+TEST_F(FaultTest, AfterKFailsFromKthHitOnward) {
+  fault::arm("frontier.dense_alloc", 2);
+  EXPECT_FALSE(fault::should_fail("frontier.dense_alloc"));  // hit 0
+  EXPECT_FALSE(fault::should_fail("frontier.dense_alloc"));  // hit 1
+  EXPECT_TRUE(fault::should_fail("frontier.dense_alloc"));   // hit 2: fails
+  EXPECT_TRUE(fault::should_fail("frontier.dense_alloc"));   // and forever on
+  EXPECT_EQ(fault::hits("frontier.dense_alloc"), 4u);
+}
+
+TEST_F(FaultTest, RearmResetsTheHitCounter) {
+  fault::arm("s", 1);
+  EXPECT_FALSE(fault::should_fail("s"));
+  EXPECT_TRUE(fault::should_fail("s"));
+  fault::arm("s", 1);  // re-arm: counter back to zero
+  EXPECT_EQ(fault::hits("s"), 0u);
+  EXPECT_FALSE(fault::should_fail("s"));
+  EXPECT_TRUE(fault::should_fail("s"));
+}
+
+TEST_F(FaultTest, DisarmAllRestoresTheCheapPath) {
+  fault::arm("a");
+  fault::arm("b", 5);
+  EXPECT_TRUE(fault::enabled());
+  fault::disarm_all();
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_FALSE(fault::should_fail("a"));
+  EXPECT_TRUE(fault::armed_sites().empty());
+}
+
+TEST_F(FaultTest, ArmFromEnvParsesSitesAndAfterCounts) {
+  ::setenv("COBRA_FAULT", "checkpoint.write@3,frontier.dense_alloc", 1);
+  EXPECT_EQ(fault::arm_from_env(), 2u);
+  const auto armed = fault::armed_sites();
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "checkpoint.write@3"),
+            armed.end());
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "frontier.dense_alloc@0"),
+            armed.end());
+  // @3 semantics survive the env round trip.
+  EXPECT_FALSE(fault::should_fail("checkpoint.write"));
+  EXPECT_FALSE(fault::should_fail("checkpoint.write"));
+  EXPECT_FALSE(fault::should_fail("checkpoint.write"));
+  EXPECT_TRUE(fault::should_fail("checkpoint.write"));
+  EXPECT_TRUE(fault::should_fail("frontier.dense_alloc"));
+}
+
+TEST_F(FaultTest, ArmFromEnvSkipsMalformedEntries) {
+  ::setenv("COBRA_FAULT", "good.site@1,bad@not_a_number,@5,,tail.site", 1);
+  EXPECT_EQ(fault::arm_from_env(), 2u);  // good.site and tail.site only
+  EXPECT_FALSE(fault::should_fail("bad"));
+  EXPECT_TRUE(fault::should_fail("tail.site"));
+}
+
+TEST_F(FaultTest, ArmFromEnvUnsetArmsNothing) {
+  ::unsetenv("COBRA_FAULT");
+  EXPECT_EQ(fault::arm_from_env(), 0u);
+  EXPECT_FALSE(fault::enabled());
+}
+
+}  // namespace
