@@ -11,12 +11,16 @@
 ///      long horizon grows like log(horizon), not polynomially.
 ///
 /// Usage: bench_grid_drift [--trials T] [--out path] [--smoke] [--caps]
+///        [--metrics path] [--trace path]
 ///   This bench walks the Z^d drift chain directly, not a generated
 ///   graph, so --graph is accepted (shared CLI) but has no effect — it
 ///   declares `graph=no` in its --caps metadata, which is how sweep
 ///   drivers (cobra_sweep) know to skip it instead of keeping a hardcoded
 ///   list. --smoke shrinks the per-cell single-step trial counts, the
-///   Lemma 5 distance sweep, and the Lemma 6 horizon for CI.
+///   Lemma 5 distance sweep, and the Lemma 6 horizon for CI. --metrics
+///   still snapshots the registry (timers, gen counters) on exit, but
+///   --trace stays EMPTY here: the drift chain never runs through the
+///   FrontierEngine, and only engine rounds emit trace lines.
 
 #include <cmath>
 

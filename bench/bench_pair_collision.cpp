@@ -14,14 +14,17 @@
 ///      showing the O(Phi^-2 log n) decay Theorem 12 (Chung) provides.
 ///
 /// Usage: bench_pair_collision [--trials T] [--graph <spec>] [--out path]
-///        [--smoke] [--caps]
+///        [--smoke] [--caps] [--metrics path] [--trace path]
 ///   Case graphs are built through the spec registry. --graph replaces
 ///   the simulated-collision case list with that one graph ONLY — the
 ///   exact D(G x G) tables keep their tiny built-in cases (they
 ///   materialize n^2 states), so this bench declares `graph=partial` in
 ///   its --caps metadata and sweep drivers skip it rather than hardcoding
 ///   the exception. --smoke shrinks the trial count for CI (the graph
-///   suite is already tiny; no sizes change under --smoke).
+///   suite is already tiny; no sizes change under --smoke). --metrics
+///   snapshots the registry (gen.build.* timers and the rest) on exit;
+///   --trace records only the rounds that run through the FrontierEngine
+///   (the matrix pair walk steps outside it, so expect few or no lines).
 
 #include <cmath>
 

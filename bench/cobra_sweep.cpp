@@ -84,6 +84,7 @@
 #include "gen/registry.hpp"
 #include "gen/spec.hpp"
 #include "harness.hpp"
+#include "obs/manifest.hpp"
 #include "sweep.hpp"
 
 namespace {
@@ -219,6 +220,21 @@ int main(int argc, char** argv) {
     std::cout << "cobra_sweep: " << path << " valid ("
               << bench::count_merged_runs(text) << " runs, "
               << bench::count_failed_runs(text) << " quarantined)\n";
+    // Host-fingerprint check: a longitudinal file quietly mixing hosts or
+    // builds is how baselines go bad, so more than one distinct value for a
+    // manifest key is a loud (but non-fatal) warning.
+    for (const char* key : {"git_sha", "build_type", "hardware_concurrency"}) {
+      const auto values = bench::distinct_context_values(text, key);
+      if (values.size() > 1) {
+        std::cerr << "cobra_sweep: WARNING: " << path << " mixes "
+                  << values.size() << " distinct " << key << " values (";
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          if (i != 0) std::cerr << ", ";
+          std::cerr << values[i];
+        }
+        std::cerr << ") — its runs came from different hosts or builds\n";
+      }
+    }
     return 0;
   }
 
@@ -370,6 +386,8 @@ int main(int argc, char** argv) {
 
         const fs::path run_json =
             workdir / ("run_" + std::to_string(cell) + ".json");
+        const fs::path run_metrics =
+            workdir / ("run_" + std::to_string(cell) + ".metrics.json");
         const fs::path run_log =
             workdir / ("run_" + std::to_string(cell) + ".log");
         fs::remove(run_log, ec);  // fresh log per cell; attempts append
@@ -388,11 +406,13 @@ int main(int argc, char** argv) {
           // A stale or partial file from a previous attempt must not be
           // mistaken for this attempt's output.
           fs::remove(run_json, ec);
+          fs::remove(run_metrics, ec);
 
           std::string cmd = shell_quote((bindir / name).string()) +
                             " --graph " + shell_quote(spec) + " --threads " +
                             std::to_string(threads) + " --out " +
-                            shell_quote(run_json.string());
+                            shell_quote(run_json.string()) + " --metrics " +
+                            shell_quote(run_metrics.string());
           if (args.get_bool("smoke", false)) cmd += " --smoke";
           if (args.has("trials")) cmd += " --trials " + std::to_string(trials);
           if (cell == crash_run) cmd += " --inject-crash-after 0";
@@ -410,7 +430,11 @@ int main(int argc, char** argv) {
           if (code == 0) {
             const std::string json_text = read_file(run_json);
             if (bench::looks_like_bench_json(json_text)) {
-              runs.push_back({name, spec, threads, json_text});
+              // The per-cell metrics snapshot is best-effort: an old binary
+              // without --metrics would fail the allowed-flags check, but a
+              // missing/empty file just omits the "metrics" key.
+              runs.push_back(
+                  {name, spec, threads, json_text, read_file(run_metrics)});
               ok = true;
               break;
             }
@@ -434,9 +458,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  const obs::Manifest manifest = obs::current_manifest();
   std::vector<std::pair<std::string, std::string>> context = {
       {"graph", args.get("graph", "")},
       {"threads", args.get("threads", "1")},
+      {"git_sha", manifest.git_sha},
+      {"build_type", manifest.build_type},
+      {"hardware_concurrency",
+       std::to_string(manifest.hardware_concurrency)},
   };
   if (args.get_bool("smoke", false)) context.emplace_back("smoke", "1");
   if (reused != 0) context.emplace_back("resumed_runs", std::to_string(reused));

@@ -12,6 +12,9 @@
 #include <string_view>
 #include <thread>
 
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/runner.hpp"
 #include "util/fault.hpp"
 
@@ -25,7 +28,9 @@ namespace {
 /// benches through REAL failure modes instead of mock children.
 const std::vector<std::string>& shared_flags() {
   static const std::vector<std::string> flags = {
-      "graph", "out", "smoke", "threads", "inject-crash-after", "inject-hang"};
+      "graph",   "out",   "smoke",
+      "threads", "metrics", "trace",
+      "inject-crash-after", "inject-hang"};
   return flags;
 }
 
@@ -126,6 +131,12 @@ io::Args parse_bench_args(int argc, const char* const* argv,
       }
     }
     util::fault::arm_from_env();  // COBRA_FAULT="site[@after],..." arming
+    // Arm the per-round trace sink before any measurement: the engine's
+    // expand() gates on obs::trace_enabled(), so opening the file here is
+    // all a bench needs to start streaming rounds.
+    if (args.has("trace")) {
+      obs::open_global_trace(args.get("trace", ""));
+    }
     apply_injections(args);
     return args;
   } catch (const std::invalid_argument& e) {
@@ -161,8 +172,14 @@ std::uint64_t uint_flag(const io::Args& args, const std::string& name,
 
 JsonReporter::JsonReporter(std::string benchmark)
     : benchmark_(std::move(benchmark)) {
+  // The run manifest: every bench/sweep JSON is stamped with the host and
+  // build fingerprint, so "this baseline came from a 1-core Release
+  // container at <sha>" is in the record, not in prose.
+  const obs::Manifest manifest = obs::current_manifest();
   context("hardware_concurrency",
-          static_cast<double>(std::thread::hardware_concurrency()));
+          static_cast<double>(manifest.hardware_concurrency));
+  context("git_sha", manifest.git_sha);
+  context("build_type", manifest.build_type);
 }
 
 void JsonReporter::context(const std::string& key, const std::string& value) {
@@ -336,8 +353,17 @@ std::vector<BuiltCase> Harness::suite(std::vector<SuiteCase> cases) const {
 }
 
 int Harness::finish() {
-  if (!args_.has("out")) return 0;
-  return json_.write(args_.get("out", "")) ? 0 : 1;
+  // --metrics: snapshot the global registry (plus the manifest) next to
+  // the bench's records; --trace: flush and close the per-round JSONL.
+  bool ok = true;
+  if (args_.has("metrics")) {
+    ok = obs::write_metrics_json(args_.get("metrics", "")) && ok;
+  }
+  obs::close_global_trace();
+  if (args_.has("out")) {
+    ok = json_.write(args_.get("out", "")) && ok;
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace cobra::bench

@@ -53,6 +53,10 @@ namespace cobra::bench {
 ///   --smoke           tiny sizes / few trials — the CI bit-rot guard; must
 ///                     finish in seconds and exercise the full code path
 ///   --threads <N>     worker count of the global pool (0 = hardware)
+///   --metrics <path>  write a metrics-registry snapshot (counters/gauges/
+///                     timers + the run manifest) as JSON on finish()
+///   --trace <path>    stream one JSONL line per FrontierEngine round
+///                     (see src/obs/trace.hpp for the schema)
 ///   --caps            print one machine-readable capability line and exit
 ///                     0 (what cobra_sweep queries before sweeping)
 /// Bench-specific flags ride in `extra`. This variant throws

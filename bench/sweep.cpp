@@ -183,8 +183,14 @@ std::string merge_sweep_json(
     os << (i == 0 ? "\n" : ",\n") << "    { \"sweep_run_id\": " << i
        << ", \"bench\": " << quote(run.bench)
        << ", \"spec\": " << quote(run.spec) << ", \"threads\": " << run.threads
-       << ",\n      \"result\": " << indent_json(run.json_text, "      ")
-       << " }";
+       << ",\n      \"result\": " << indent_json(run.json_text, "      ");
+    // Metrics ride AFTER "result": extract_merged_runs brace-matches the
+    // result object and then scans forward for the next sweep_run_id, so a
+    // trailing sibling key is invisible to the resume/validate machinery.
+    if (!run.metrics_json.empty()) {
+      os << ",\n      \"metrics\": " << indent_json(run.metrics_json, "      ");
+    }
+    os << " }";
   }
   os << "\n  ]";
   if (!failed.empty()) {
@@ -350,6 +356,38 @@ std::vector<SweepRun> extract_merged_runs(const std::string& merged_text) {
     pos = end;
   }
   return runs;
+}
+
+std::vector<std::string> distinct_context_values(const std::string& merged_text,
+                                                 const std::string& key) {
+  std::vector<std::string> values;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while ((pos = merged_text.find(needle, pos)) != std::string::npos) {
+    std::size_t at = pos + needle.size();
+    pos = at;
+    while (at < merged_text.size() && merged_text[at] == ' ') ++at;
+    if (at >= merged_text.size()) break;
+    std::string value;
+    if (merged_text[at] == '"') {
+      try {
+        value = json_unquote(merged_text, at);
+      } catch (const std::invalid_argument&) {
+        continue;  // malformed occurrence; skip, don't abort the scan
+      }
+    } else {
+      // Number/bare literal: runs to the next JSON delimiter.
+      std::size_t end = merged_text.find_first_of(",}\n]", at);
+      if (end == std::string::npos) end = merged_text.size();
+      value = trim(merged_text.substr(at, end - at));
+      if (value.empty()) continue;
+    }
+    if (std::find(values.begin(), values.end(), value) == values.end()) {
+      values.push_back(value);
+    }
+  }
+  std::sort(values.begin(), values.end());
+  return values;
 }
 
 std::size_t expected_runs_of(const std::string& merged_text) {

@@ -19,7 +19,8 @@
 ///     "context": { "expected_runs": N, ... },
 ///     "runs": [
 ///       { "sweep_run_id": 0, "bench": "...", "spec": "...",
-///         "threads": T, "result": { <the bench's own --out JSON> } },
+///         "threads": T, "result": { <the bench's own --out JSON> },
+///         "metrics": { <the child's --metrics snapshot, when collected> } },
 ///       ...
 ///     ],
 ///     "failed_runs": [
@@ -58,7 +59,12 @@ struct SweepRun {
   std::string bench;
   std::string spec;
   std::size_t threads = 0;
-  std::string json_text;  ///< the child's --out file, verbatim
+  std::string json_text;     ///< the child's --out file, verbatim
+  /// The child's --metrics snapshot, verbatim; empty = no metrics were
+  /// collected for this cell (the "metrics" key is then omitted from the
+  /// merged run object). Resumed cells reuse the prior file's result and
+  /// carry no metrics.
+  std::string metrics_json;
 };
 
 /// One quarantined cell: a (bench, spec, threads) point whose child failed
@@ -130,6 +136,15 @@ struct RetryPolicy {
 /// retries them). Throws std::invalid_argument on a malformed file.
 [[nodiscard]] std::vector<SweepRun> extract_merged_runs(
     const std::string& merged_text);
+
+/// Distinct raw values of `"key": <value>` occurrences inside the embedded
+/// run results (sorted, deduplicated; string values keep their quotes
+/// stripped, numbers their literal spelling). The host-fingerprint check:
+/// `cobra_sweep --validate` warns when the merged runs carry more than one
+/// distinct git_sha / build_type / hardware_concurrency — a longitudinal
+/// file quietly mixing hosts or builds is how baselines go bad.
+[[nodiscard]] std::vector<std::string> distinct_context_values(
+    const std::string& merged_text, const std::string& key);
 
 /// True when the merged file accounts for exactly the cells it promises:
 /// completed runs + quarantined failed_runs == expected. `expect` == 0

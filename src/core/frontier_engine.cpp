@@ -61,14 +61,33 @@ bool FrontierEngine::acquire_dense_words(std::vector<std::uint64_t>& bits) {
 bool FrontierEngine::choose_dense(std::size_t frontier_size,
                                   std::vector<std::uint64_t>& dense_bits) {
   bool dense = want_dense(frontier_size);
+  const char* reason = "";
   // The bitmap's O(n/64) words are the dense path's one allocation; if
   // they can't be had, the sparse path still works in the memory the
   // frontier already owns — identical results, degraded speed. Demote
   // BEFORE committing, so hysteresis and counters see the real mode.
   if (dense && !acquire_dense_words(dense_bits)) {
     dense = false;
+    reason = "dense-alloc-fallback";
     ++dense_fallbacks_;
+    obs::count("frontier.dense_fallbacks");
   }
+  // A reason is only a SWITCH note: the first round's mode is a choice,
+  // not a change, so it traces as "" like any other steady round.
+  if (reason[0] == '\0' && have_mode_ && dense != last_dense_) {
+    switch (opts_.mode) {
+      case FrontierMode::ForceSparse:
+        reason = "forced-sparse";
+        break;
+      case FrontierMode::ForceDense:
+        reason = "forced-dense";
+        break;
+      default:
+        reason = dense ? "auto-grow" : "auto-shrink";
+        break;
+    }
+  }
+  last_switch_reason_ = reason;
   return commit_mode(dense);
 }
 
@@ -89,6 +108,10 @@ par::ThreadPool* FrontierEngine::pick_pool(std::size_t frontier_size) const {
 
 void FrontierEngine::clear_words(std::vector<std::uint64_t>& bits,
                                  par::ThreadPool* pool) {
+#if COBRA_OBS_LEVEL >= 1
+  static obs::Timer& timer = obs::registry().timer("frontier.clear");
+  obs::ScopedTimer timed(timer);
+#endif
   const std::size_t words = num_words();
   // Parallel clearing only pays once the bitmap outgrows the last-level
   // cache scale (n >= ~2^21); below that the pool dispatch costs more than
@@ -112,6 +135,10 @@ void FrontierEngine::clear_words(std::vector<std::uint64_t>& bits,
 void FrontierEngine::materialize_bits(std::span<const std::uint64_t> words,
                                       std::size_t count,
                                       std::vector<Vertex>& out) {
+#if COBRA_OBS_LEVEL >= 1
+  static obs::Timer& timer = obs::registry().timer("frontier.materialize");
+  obs::ScopedTimer timed(timer);
+#endif
   out.clear();
   const std::size_t n_words = words.size();
   // The decode is O(n/64 + count): the bitmap scan term does not shrink
@@ -168,6 +195,7 @@ void FrontierEngine::ensure_workers(std::size_t workers) {
     worker_decode_.resize(workers);
     worker_emitted_.resize(workers);
     worker_claimed_.resize(workers);
+    worker_blocks_.resize(workers);
   }
 }
 
@@ -195,6 +223,66 @@ std::span<const Vertex> FrontierEngine::chunk_vertices(
       static_cast<std::size_t>((hi + 63) >> 6), words.size());
   detail::decode_bits(words, w0, w1, scratch);
   return scratch;
+}
+
+void FrontierEngine::occupancy_stats(const FrontierView& in, std::size_t span,
+                                     std::uint64_t& chunks,
+                                     std::uint64_t& max_occ) const {
+  chunks = 0;
+  max_occ = 0;
+  if (!in.dense()) {
+    // Walk the sorted list run by run: one pass, no touch of empty chunks.
+    const auto list = in.list();
+    std::size_t i = 0;
+    while (i < list.size()) {
+      const std::size_t c = list[i] / span;
+      std::size_t occ = 0;
+      while (i < list.size() && list[i] / span == c) {
+        ++occ;
+        ++i;
+      }
+      ++chunks;
+      max_occ = std::max<std::uint64_t>(max_occ, occ);
+    }
+    return;
+  }
+  // Dense: popcount per chunk (span is a multiple of 64, so chunk
+  // boundaries are word boundaries).
+  const auto words = in.words();
+  const std::size_t words_per_chunk = span >> 6;
+  for (std::size_t w0 = 0; w0 < words.size(); w0 += words_per_chunk) {
+    const std::size_t w1 = std::min(words.size(), w0 + words_per_chunk);
+    std::uint64_t occ = 0;
+    for (std::size_t w = w0; w < w1; ++w) {
+      occ += static_cast<std::uint64_t>(std::popcount(words[w]));
+    }
+    if (occ == 0) continue;
+    ++chunks;
+    max_occ = std::max(max_occ, occ);
+  }
+}
+
+void FrontierEngine::emit_trace(const FrontierView& in, std::size_t produced,
+                                bool dense,
+                                std::chrono::steady_clock::time_point t0) {
+  if (trace_id_ == 0) trace_id_ = obs::next_trace_id();
+  obs::RoundTrace t;
+  t.trace_id = trace_id_;
+  t.round = sparse_rounds_ + dense_rounds_;  // 1-based: already committed
+  t.frontier = in.size();
+  t.produced = produced;
+  t.mode = dense ? "dense" : "sparse";
+  t.path = last_parallel_ ? "parallel" : "serial";
+  t.switch_reason = last_switch_reason_;
+  occupancy_stats(in, chunk_span(), t.chunks, t.max_chunk);
+  t.mean_chunk = t.chunks > 0 ? static_cast<double>(in.size()) /
+                                    static_cast<double>(t.chunks)
+                              : 0.0;
+  t.rng_blocks = last_rng_blocks_;
+  t.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+  obs::trace_round(t);
 }
 
 void FrontierEngine::dedupe(std::span<const Vertex> in,

@@ -4,11 +4,14 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/monte_carlo.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -350,6 +353,20 @@ class FrontierEngine {
     return last_emitted_;
   }
 
+  /// Why the most recent round's representation is what it is: "" when the
+  /// mode simply carried over, else one of "auto-grow", "auto-shrink",
+  /// "forced-sparse", "forced-dense", "dense-alloc-fallback" — the trace
+  /// sink's "switch" field.
+  [[nodiscard]] const char* last_switch_reason() const noexcept {
+    return last_switch_reason_;
+  }
+
+  /// Batched-RNG blocks drawn during the most recent expand round (summed
+  /// over chunks) — the trace sink's "rng_blocks" field.
+  [[nodiscard]] std::uint64_t last_rng_blocks() const noexcept {
+    return last_rng_blocks_;
+  }
+
  private:
   /// Advance the epoch, wiping stamps on 32-bit wrap (the aliasing guard).
   std::uint32_t advance_epoch();
@@ -406,6 +423,17 @@ class FrontierEngine {
       const FrontierView& in, std::size_t span, std::size_t c,
       std::vector<Vertex>& scratch) const;
 
+  /// Read-only load-imbalance scan for the trace sink: how many vertex
+  /// chunks hold active vertices and how full the fullest is. O(|frontier|)
+  /// sparse / O(n/64) dense — run ONLY on traced rounds.
+  void occupancy_stats(const FrontierView& in, std::size_t span,
+                       std::uint64_t& chunks, std::uint64_t& max_occ) const;
+
+  /// Append the finished round to the global trace sink (call sites gate
+  /// on obs::trace_enabled() so untraced rounds pay one relaxed load).
+  void emit_trace(const FrontierView& in, std::size_t produced, bool dense,
+                  std::chrono::steady_clock::time_point t0);
+
   /// Drive `sampler` over one chunk's active vertices with CSR row
   /// prefetch a few vertices ahead.
   template <typename Sampler, typename Sink>
@@ -445,6 +473,7 @@ class FrontierEngine {
             list.begin());
         ChunkRng rng(Engine(rng::derive_seed(round_seed, c)));
         process_run(list.subspan(i, end - i), rng, sampler, sink);
+        last_rng_blocks_ += rng.refills();
         i = end;
       }
       return;
@@ -456,6 +485,7 @@ class FrontierEngine {
       if (vs.empty()) continue;
       ChunkRng rng(Engine(rng::derive_seed(round_seed, c)));
       process_run(vs, rng, sampler, sink);
+      last_rng_blocks_ += rng.refills();
     }
   }
 
@@ -483,6 +513,7 @@ class FrontierEngine {
   std::vector<std::vector<Vertex>> worker_decode_;   ///< dense-input decode
   std::vector<std::uint64_t> worker_emitted_;
   std::vector<std::uint64_t> worker_claimed_;
+  std::vector<std::uint64_t> worker_blocks_;  ///< per-worker RNG refills
   std::uint64_t parallel_rounds_ = 0;
   std::uint64_t serial_rounds_ = 0;
   std::uint64_t dense_rounds_ = 0;
@@ -490,6 +521,10 @@ class FrontierEngine {
   std::uint64_t switches_ = 0;
   std::uint64_t dense_fallbacks_ = 0;
   std::uint64_t last_emitted_ = 0;
+  std::uint64_t last_rng_blocks_ = 0;
+  const char* last_switch_reason_ = "";
+  bool last_parallel_ = false;     ///< the trace sink's "path" field
+  std::uint64_t trace_id_ = 0;     ///< lazily drawn on first traced round
 };
 
 template <typename Sampler>
@@ -502,9 +537,11 @@ void FrontierEngine::expand_sparse(const FrontierView& in,
       (static_cast<std::size_t>(g_->num_vertices()) + span - 1) / span;
   const std::uint32_t epoch = advance_epoch();
   par::ThreadPool* pool = pick_pool(in.size());
+  last_rng_blocks_ = 0;
 
   if (pool == nullptr || n_chunks <= 1) {
     ++serial_rounds_;
+    last_parallel_ = false;
     std::uint64_t emitted = 0;
     const auto sink = [&](Vertex u) {
       ++emitted;
@@ -517,11 +554,13 @@ void FrontierEngine::expand_sparse(const FrontierView& in,
     last_emitted_ = emitted;
   } else {
     ++parallel_rounds_;
+    last_parallel_ = true;
     const std::size_t workers = std::min(pool->size(), n_chunks);
     ensure_workers(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       worker_lists_[w].clear();
       worker_emitted_[w] = 0;
+      worker_blocks_[w] = 0;
     }
     par::parallel_for_chunks(
         *pool, n_chunks, workers, [&](std::size_t w, std::size_t c) {
@@ -544,12 +583,14 @@ void FrontierEngine::expand_sparse(const FrontierView& in,
           };
           process_run(vs, rng, sampler, sink);
           worker_emitted_[w] += emitted;
+          worker_blocks_[w] += rng.refills();
         });
     std::uint64_t emitted = 0;
     std::size_t total = 0;
     for (std::size_t w = 0; w < workers; ++w) {
       emitted += worker_emitted_[w];
       total += worker_lists_[w].size();
+      last_rng_blocks_ += worker_blocks_[w];
     }
     out.reserve(out.size() + total);
     for (std::size_t w = 0; w < workers; ++w) {
@@ -574,9 +615,11 @@ void FrontierEngine::expand_dense(const FrontierView& in,
       (static_cast<std::size_t>(g_->num_vertices()) + span - 1) / span;
   par::ThreadPool* pool = pick_pool(in.size());
   clear_words(out_bits, pool);  // the round's one O(n/64) clear
+  last_rng_blocks_ = 0;
 
   if (pool == nullptr || n_chunks <= 1) {
     ++serial_rounds_;
+    last_parallel_ = false;
     std::uint64_t emitted = 0;
     std::size_t claimed = 0;
     std::uint64_t* bits = out_bits.data();
@@ -592,11 +635,13 @@ void FrontierEngine::expand_dense(const FrontierView& in,
     out_count = claimed;
   } else {
     ++parallel_rounds_;
+    last_parallel_ = true;
     const std::size_t workers = std::min(pool->size(), n_chunks);
     ensure_workers(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       worker_emitted_[w] = 0;
       worker_claimed_[w] = 0;
+      worker_blocks_[w] = 0;
     }
     std::uint64_t* bits = out_bits.data();
     par::parallel_for_chunks(
@@ -617,12 +662,14 @@ void FrontierEngine::expand_dense(const FrontierView& in,
           process_run(vs, rng, sampler, sink);
           worker_emitted_[w] += emitted;
           worker_claimed_[w] += claimed;
+          worker_blocks_[w] += rng.refills();
         });
     std::uint64_t emitted = 0;
     std::size_t claimed = 0;
     for (std::size_t w = 0; w < workers; ++w) {
       emitted += worker_emitted_[w];
       claimed += worker_claimed_[w];
+      last_rng_blocks_ += worker_blocks_[w];
     }
     last_emitted_ = emitted;
     out_count = claimed;
@@ -637,8 +684,20 @@ void FrontierEngine::expand(const Frontier& frontier, Frontier& next,
   last_emitted_ = 0;
   if (frontier.empty()) return;  // no epoch/bitmap burn for extinct processes
 
+#if COBRA_OBS_LEVEL >= 1
+  static obs::Timer& step_timer = obs::registry().timer("frontier.step");
+  obs::ScopedTimer timed(step_timer);
+#endif
+  // One relaxed load when untraced; everything trace-priced (occupancy
+  // scan, clock reads) stays behind it. Telemetry reads state only — the
+  // produced frontier is bit-identical traced or not.
+  const bool traced = obs::trace_enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (traced) t0 = std::chrono::steady_clock::now();
+
   const FrontierView in(frontier);
-  if (choose_dense(in.size(), next.bits_)) {
+  bool dense = choose_dense(in.size(), next.bits_);
+  if (dense) {
     expand_dense(in, next.bits_, next.count_, round_seed, sampler);
     next.dense_ = true;
     next.list_valid_ = false;  // materialized lazily by vertices()
@@ -646,6 +705,7 @@ void FrontierEngine::expand(const Frontier& frontier, Frontier& next,
     expand_sparse(in, next.list_, round_seed, sampler);
     next.count_ = next.list_.size();
   }
+  if (traced) emit_trace(in, next.count_, dense, t0);
 }
 
 template <typename Sampler>
@@ -656,14 +716,24 @@ void FrontierEngine::expand(std::span<const Vertex> frontier,
   last_emitted_ = 0;
   if (frontier.empty()) return;
 
+#if COBRA_OBS_LEVEL >= 1
+  static obs::Timer& step_timer = obs::registry().timer("frontier.step");
+  obs::ScopedTimer timed(step_timer);
+#endif
+  const bool traced = obs::trace_enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (traced) t0 = std::chrono::steady_clock::now();
+
   const FrontierView in(frontier);  // asserts sortedness in debug builds
-  if (choose_dense(in.size(), scratch_bits_)) {
+  bool dense = choose_dense(in.size(), scratch_bits_);
+  if (dense) {
     std::size_t count = 0;
     expand_dense(in, scratch_bits_, count, round_seed, sampler);
     materialize_bits(scratch_bits_, count, next);
   } else {
     expand_sparse(in, next, round_seed, sampler);
   }
+  if (traced) emit_trace(in, next.size(), dense, t0);
 }
 
 }  // namespace cobra::core

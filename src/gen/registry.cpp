@@ -7,6 +7,7 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace cobra::gen {
@@ -354,10 +355,19 @@ Graph build_graph(const GraphSpec& spec, const GenOptions& opts) {
            "' (allowed: " + allowed + ")");
     }
   }
-  Graph g = info->factory(spec, opts);
-  if (spec.get_bool("lcc", false)) {
-    g = graph::largest_component(g).graph;
-  }
+  Graph g = [&] {
+#if COBRA_OBS_LEVEL >= 1
+    // Per-family build time ("gen.build.rreg", ...) plus a global count —
+    // by-name lookup is fine here, graph construction dwarfs it.
+    obs::ScopedTimer timed(obs::registry().timer("gen.build." + info->name));
+    obs::count("gen.graphs_built");
+#endif
+    Graph built = info->factory(spec, opts);
+    if (spec.get_bool("lcc", false)) {
+      built = graph::largest_component(built).graph;
+    }
+    return built;
+  }();
   // Post-build CSR audit (Graph::validate): on in debug builds, and
   // opt-in anywhere via COBRA_VALIDATE_GRAPH=1 — a generator bug that
   // emits an asymmetric CSR corrupts statistics silently, so the paranoid

@@ -1,0 +1,35 @@
+#include "obs/manifest.hpp"
+
+#include <thread>
+
+// Configure-time facts; src/CMakeLists.txt defines both, but keep the
+// fallbacks so the file still compiles standalone (e.g. in a test rig).
+#ifndef COBRA_GIT_SHA
+#define COBRA_GIT_SHA "unknown"
+#endif
+#ifndef COBRA_BUILD_TYPE
+#define COBRA_BUILD_TYPE "unknown"
+#endif
+
+namespace cobra::obs {
+
+Manifest current_manifest() {
+  Manifest m;
+  m.git_sha = COBRA_GIT_SHA;
+  m.build_type = COBRA_BUILD_TYPE;
+  m.hardware_concurrency = std::thread::hardware_concurrency();
+  return m;
+}
+
+std::string Manifest::render_json(const std::string& indent) const {
+  std::string out;
+  out += "{\n";
+  out += indent + "  \"git_sha\": \"" + git_sha + "\",\n";
+  out += indent + "  \"build_type\": \"" + build_type + "\",\n";
+  out += indent + "  \"hardware_concurrency\": " +
+         std::to_string(hardware_concurrency) + "\n";
+  out += indent + "}";
+  return out;
+}
+
+}  // namespace cobra::obs

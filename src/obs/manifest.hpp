@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+/// \file manifest.hpp
+/// The run manifest: who/what/where facts stamped into every bench and
+/// sweep JSON so a record can never again be read without knowing it came
+/// from a 1-core container, a Debug build, or a stale commit. The git sha
+/// and build type are baked in at configure time (COBRA_GIT_SHA /
+/// COBRA_BUILD_TYPE compile definitions, "unknown" when git is absent);
+/// hardware_concurrency is read at process start. Run-shaped fields
+/// (graph spec, seed, thread count) are stamped by the bench harness
+/// itself, which owns them.
+
+namespace cobra::obs {
+
+struct Manifest {
+  std::string git_sha;        ///< short sha at configure time, or "unknown"
+  std::string build_type;     ///< CMAKE_BUILD_TYPE, or "unknown"
+  unsigned hardware_concurrency = 0;
+
+  /// Render as a JSON object, each line indented by `indent` beyond the
+  /// opening brace (the same hanging style JsonReporter uses).
+  [[nodiscard]] std::string render_json(const std::string& indent) const;
+};
+
+/// The manifest for this process.
+[[nodiscard]] Manifest current_manifest();
+
+}  // namespace cobra::obs

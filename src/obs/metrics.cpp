@@ -1,0 +1,181 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/manifest.hpp"
+
+namespace cobra::obs {
+
+// ------------------------------------------------------------- Timer -----
+
+namespace {
+
+/// Stable per-thread slot index: hash the thread id once, cache it.
+std::size_t this_thread_slot() noexcept {
+  thread_local const std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % Timer::kSlots;
+  return slot;
+}
+
+}  // namespace
+
+void Timer::add(std::uint64_t ns, std::uint64_t count) noexcept {
+  Slot& s = slots_[this_thread_slot()];
+  s.ns.fetch_add(ns, std::memory_order_relaxed);
+  s.count.fetch_add(count, std::memory_order_relaxed);
+}
+
+std::uint64_t Timer::total_ns() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& s : slots_) total += s.ns.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Timer::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Slot& s : slots_) total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Timer::reset() noexcept {
+  for (Slot& s : slots_) {
+    s.ns.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------- Registry -----
+
+/// Storage lives in deques so references handed out by counter()/gauge()/
+/// timer() stay valid as the registry grows; the maps only index into them.
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Timer> timers;
+  // string (not string_view) keys: the registry owns the names.
+  std::unordered_map<std::string, Counter*> counter_by_name;
+  std::unordered_map<std::string, Gauge*> gauge_by_name;
+  std::unordered_map<std::string, Timer*> timer_by_name;
+};
+
+Registry::Impl& Registry::impl() const {
+  // One process-global Impl: Registry itself is stateless, so obs::registry()
+  // can hand out Registry by value-semantics-free reference without an
+  // initialization order dance.
+  static Impl instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.counter_by_name.find(std::string(name));
+  if (it != im.counter_by_name.end()) return *it->second;
+  Counter& c = im.counters.emplace_back();
+  im.counter_by_name.emplace(std::string(name), &c);
+  return c;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.gauge_by_name.find(std::string(name));
+  if (it != im.gauge_by_name.end()) return *it->second;
+  Gauge& g = im.gauges.emplace_back();
+  im.gauge_by_name.emplace(std::string(name), &g);
+  return g;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.timer_by_name.find(std::string(name));
+  if (it != im.timer_by_name.end()) return *it->second;
+  Timer& t = im.timers.emplace_back();
+  im.timer_by_name.emplace(std::string(name), &t);
+  return t;
+}
+
+std::vector<Sample> Registry::snapshot() const {
+  Impl& im = impl();
+  std::vector<Sample> out;
+  {
+    std::lock_guard lock(im.mu);
+    out.reserve(im.counter_by_name.size() + im.gauge_by_name.size() +
+                im.timer_by_name.size());
+    for (const auto& [name, c] : im.counter_by_name)
+      out.push_back({name, "counter", static_cast<double>(c->value()), 0});
+    for (const auto& [name, g] : im.gauge_by_name)
+      out.push_back({name, "gauge", g->value(), 0});
+    for (const auto& [name, t] : im.timer_by_name)
+      out.push_back({name, "timer", static_cast<double>(t->total_ns()) * 1e-9,
+                     t->count()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  for (Counter& c : im.counters) c.store(0);
+  for (Gauge& g : im.gauges) g.set(0.0);
+  for (Timer& t : im.timers) t.reset();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+// ---------------------------------------------------------- snapshot -----
+
+std::string render_metrics_json() {
+  const Manifest m = current_manifest();
+  std::string out;
+  out += "{\n";
+  out += "  \"manifest\": " + m.render_json("  ") + ",\n";
+  out += "  \"metrics\": [\n";
+  const std::vector<Sample> samples = registry().snapshot();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", s.value);
+    out += "    {\"name\": \"" + s.name + "\", \"kind\": \"" + s.kind +
+           "\", \"value\": " + buf;
+    if (s.kind == "timer")
+      out += ", \"count\": " + std::to_string(s.count);
+    out += "}";
+    if (i + 1 < samples.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot open metrics file '%s'\n", path.c_str());
+    return false;
+  }
+  const std::string body = render_metrics_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok)
+    std::fprintf(stderr, "obs: short write to metrics file '%s'\n",
+                 path.c_str());
+  return ok;
+}
+
+}  // namespace cobra::obs

@@ -50,6 +50,11 @@ class Batched {
   /// Raw values still buffered (exposed for tests).
   [[nodiscard]] std::size_t buffered() const noexcept { return filled_ - pos_; }
 
+  /// Blocks drawn from the engine so far — the trace layer's "rng_blocks"
+  /// field. Pure bookkeeping on the (already amortized) refill path; the
+  /// value stream is untouched.
+  [[nodiscard]] std::uint64_t refills() const noexcept { return refills_; }
+
  private:
   void refill() noexcept {
     // Geometric ramp-up: the first block is small so a consumer that only
@@ -62,6 +67,7 @@ class Batched {
     filled_ = next_fill_;
     pos_ = 0;
     next_fill_ = std::min(N, next_fill_ * 2);
+    ++refills_;
   }
 
   static constexpr std::size_t kInitialFill = N < 8 ? N : 8;
@@ -71,6 +77,7 @@ class Batched {
   std::size_t pos_ = 0;
   std::size_t filled_ = 0;  // empty until first refill
   std::size_t next_fill_ = kInitialFill;
+  std::uint64_t refills_ = 0;
 };
 
 }  // namespace cobra::rng

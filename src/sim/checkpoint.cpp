@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/metrics.hpp"
 #include "util/fault.hpp"
 
 namespace cobra::sim {
@@ -38,7 +39,14 @@ void write_snapshot_file(const std::string& path,
     throw util::CheckpointError("injected fault at checkpoint.write");
   }
   util::CheckpointWriter header;
-  append_header(header, payload);
+  {
+#if COBRA_OBS_LEVEL >= 1
+    static obs::Timer& timer = obs::registry().timer("checkpoint.checksum");
+    obs::ScopedTimer timed(timer);
+#endif
+    append_header(header, payload);  // includes the fnv1a64 pass
+  }
+  obs::count("checkpoint.bytes_written", header.buffer().size() + payload.size());
 
   // Write to a sibling temp file and rename over the target: rename(2) is
   // atomic on POSIX, so a crash at any point leaves either the previous
@@ -107,9 +115,16 @@ std::vector<std::uint8_t> read_snapshot_file(const std::string& path) {
       std::fread(payload.data(), 1, payload.size(), in.f) != payload.size()) {
     throw util::CheckpointError("snapshot '" + path + "' payload truncated");
   }
-  if (util::fnv1a64(payload) != crc) {
-    throw util::CheckpointError("snapshot '" + path + "' checksum mismatch");
+  {
+#if COBRA_OBS_LEVEL >= 1
+    static obs::Timer& timer = obs::registry().timer("checkpoint.checksum");
+    obs::ScopedTimer timed(timer);
+#endif
+    if (util::fnv1a64(payload) != crc) {
+      throw util::CheckpointError("snapshot '" + path + "' checksum mismatch");
+    }
   }
+  obs::count("checkpoint.bytes_read", kHeaderSize + payload.size());
   return payload;
 }
 

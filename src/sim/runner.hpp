@@ -8,6 +8,7 @@
 
 #include "core/cover_time.hpp"
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/observers.hpp"
 #include "sim/process.hpp"
@@ -86,13 +87,19 @@ class Runner {
     (start_hook(obs, p), ...);
     RunResult result;
     while (!stop.done(p)) {
-      if (result.rounds >= budget) return result;  // stopped stays false
+      if (result.rounds >= budget) {  // stopped stays false
+        record_run(result);
+        return result;
+      }
       p.step(gen);
       ++result.rounds;
       observe_hook(stop, p);
       (observe_hook(obs, p), ...);
     }
     result.stopped = true;
+    // Metrics land AFTER the loop (per run, not per round) so the loop
+    // body stays the bare step loop the zero-observer contract promises.
+    record_run(result);
     return result;
   }
 
@@ -137,6 +144,7 @@ class Runner {
       throw util::CheckpointError(
           "snapshot has trailing bytes (stop/observer pack mismatch?)");
     }
+    obs::count("sim.snapshots_restored");
     return loop(p, gen, rounds_done, policy, stop, obs...);
   }
 
@@ -209,7 +217,10 @@ class Runner {
     RunResult result;
     result.rounds = rounds_done;
     while (!stop.done(p)) {
-      if (result.rounds >= budget) return result;  // stopped stays false
+      if (result.rounds >= budget) {  // stopped stays false
+        record_run(result);
+        return result;
+      }
       p.step(gen);
       ++result.rounds;
       observe_hook(stop, p);
@@ -217,7 +228,9 @@ class Runner {
       if (policy.every != 0 && result.rounds % policy.every == 0) {
         try {
           save_snapshot(p, gen, result.rounds, policy.path, stop, obs...);
+          obs::count("sim.snapshots_saved");
         } catch (const util::CheckpointError& e) {
+          obs::count("sim.snapshot_failures");
           std::cerr << "[sim] WARNING: snapshot failed at round "
                     << result.rounds << ": " << e.what()
                     << " (run continues)\n";
@@ -225,7 +238,16 @@ class Runner {
       }
     }
     result.stopped = true;
+    record_run(result);
     return result;
+  }
+
+  /// Per-run registry bumps — rounds driven, runs finished, stop-rule
+  /// firings vs budget exhaustions. Called once per run, outside the loop.
+  static void record_run(const RunResult& result) {
+    obs::count("sim.runs");
+    obs::count("sim.rounds", result.rounds);
+    if (result.stopped) obs::count("sim.stops_fired");
   }
 
   std::uint64_t max_rounds_ = 0;

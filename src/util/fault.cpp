@@ -5,6 +5,8 @@
 #include <deque>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+
 namespace cobra::util::fault {
 
 namespace detail {
@@ -16,9 +18,17 @@ namespace {
 struct Site {
   std::string name;
   std::uint64_t after = 0;
-  std::atomic<std::uint64_t> hits{0};
+  /// Hit bookkeeping lives in the metrics registry ("fault.<site>.hits"),
+  /// so armed-site hit counts show up in --metrics snapshots for free;
+  /// Counter::add has the same fetch_add semantics the inline atomic had,
+  /// so the after-k arming stays exact. The obs primitives are functional
+  /// at every COBRA_OBS_LEVEL — this is semantic counting, not telemetry.
+  obs::Counter* hits;
 
-  Site(std::string n, std::uint64_t a) : name(std::move(n)), after(a) {}
+  Site(std::string n, std::uint64_t a)
+      : name(std::move(n)),
+        after(a),
+        hits(&obs::registry().counter("fault." + name + ".hits")) {}
 };
 
 /// Registry storage. Sites are appended under the lock and never removed
@@ -44,12 +54,15 @@ void arm(std::string_view site, std::uint64_t after) {
   for (Site& s : sites) {
     if (s.name == site) {
       s.after = after;
-      s.hits.store(0, std::memory_order_relaxed);
+      s.hits->store(0);
       detail::any_armed.store(true, std::memory_order_relaxed);
       return;
     }
   }
   sites.emplace_back(std::string(site), after);
+  // The obs counter outlives disarm_all (metrics registrations persist),
+  // so a re-created site must start its count fresh.
+  sites.back().hits->store(0);
   detail::any_armed.store(true, std::memory_order_relaxed);
 }
 
@@ -63,7 +76,7 @@ bool should_fail_slow(std::string_view site) noexcept {
   std::lock_guard<std::mutex> lock(registry_mutex());
   for (Site& s : registry()) {
     if (s.name == site) {
-      const std::uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t hit = s.hits->add(1);  // returns the PREVIOUS count
       return hit >= s.after;
     }
   }
@@ -72,8 +85,10 @@ bool should_fail_slow(std::string_view site) noexcept {
 
 std::uint64_t hits(std::string_view site) noexcept {
   std::lock_guard<std::mutex> lock(registry_mutex());
+  // Thin wrapper over the registry-backed counter — the pre-obs accessor,
+  // kept so call sites and tests don't care where the count lives.
   for (const Site& s : registry()) {
-    if (s.name == site) return s.hits.load(std::memory_order_relaxed);
+    if (s.name == site) return s.hits->value();
   }
   return 0;
 }

@@ -229,4 +229,54 @@ TEST(Caps, GraphTokenTerminatedByNewlineOrEndOfLine) {
             bench::BenchCaps::Graph::Partial);
 }
 
+TEST(SweepMerge, MetricsSnapshotsEmbedWithoutBreakingTheFormat) {
+  // Trailing newline: extraction re-appends one (the on-disk child files
+  // always end with it), so round-trip comparison needs it present.
+  const std::string child =
+      "{ \"benchmark\": \"demo\", \"records\": [ { \"name\": \"r\" } ] }\n";
+  const std::string metrics =
+      "{\n  \"manifest\": { \"git_sha\": \"abc1234\" },\n"
+      "  \"metrics\": [ { \"name\": \"sim.runs\", \"kind\": \"counter\", "
+      "\"value\": 1 } ]\n}\n";
+  std::vector<bench::SweepRun> runs = {
+      {"bench_demo", "ring:n=64", 1, child, metrics},
+      {"bench_demo", "ring:n=64", 2, child},  // no metrics: key omitted
+  };
+  const std::string merged = bench::merge_sweep_json(runs, 2, {});
+  EXPECT_NE(merged.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(merged.find("\"sim.runs\""), std::string::npos);
+  // Counting, validation, and resume extraction all still work with the
+  // metrics object present.
+  EXPECT_EQ(bench::count_merged_runs(merged), 2u);
+  std::string error;
+  EXPECT_TRUE(bench::validate_merged_sweep(merged, 2, &error)) << error;
+  const auto extracted = bench::extract_merged_runs(merged);
+  ASSERT_EQ(extracted.size(), 2u);
+  EXPECT_EQ(extracted[0].json_text, child);
+  EXPECT_EQ(extracted[1].json_text, child);
+}
+
+TEST(SweepMerge, DistinctContextValuesFindsFingerprintDrift) {
+  const std::string child_a =
+      "{ \"benchmark\": \"demo\", \"context\": { \"git_sha\": \"aaa1111\", "
+      "\"hardware_concurrency\": 8 }, \"records\": [ { \"name\": \"r\" } ] }";
+  const std::string child_b =
+      "{ \"benchmark\": \"demo\", \"context\": { \"git_sha\": \"bbb2222\", "
+      "\"hardware_concurrency\": 8 }, \"records\": [ { \"name\": \"r\" } ] }";
+  std::vector<bench::SweepRun> runs = {
+      {"bench_demo", "ring:n=64", 1, child_a},
+      {"bench_demo", "ring:n=64", 2, child_b},
+  };
+  const std::string merged = bench::merge_sweep_json(runs, 2, {});
+  const auto shas = bench::distinct_context_values(merged, "git_sha");
+  ASSERT_EQ(shas.size(), 2u);  // mixed-host file: the --validate warning case
+  EXPECT_EQ(shas[0], "aaa1111");
+  EXPECT_EQ(shas[1], "bbb2222");
+  // Numeric values dedupe on their literal spelling.
+  EXPECT_EQ(
+      bench::distinct_context_values(merged, "hardware_concurrency").size(),
+      1u);
+  EXPECT_TRUE(bench::distinct_context_values(merged, "no_such_key").empty());
+}
+
 }  // namespace
