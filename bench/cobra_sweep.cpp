@@ -122,19 +122,6 @@ std::string query_caps(const std::filesystem::path& binary,
   return read_file(scratch);
 }
 
-/// std::system returns a wait(2) status on POSIX, not the exit code; decode
-/// it so "exit 86" means the child's actual _Exit(86) and a signal death
-/// reads as the conventional 128+sig.
-int child_exit_code(int rc) {
-#ifdef __unix__
-  if (WIFEXITED(rc)) return WEXITSTATUS(rc);
-  if (WIFSIGNALED(rc)) return 128 + WTERMSIG(rc);
-  return rc;
-#else
-  return rc;
-#endif
-}
-
 /// Command-line parse error: the offending input plus enough grammar to fix
 /// it, then exit 2 (distinct from exit 1 = runtime/infra failure, so the CI
 /// smoke steps can tell "you typo'd the sweep" from "the sweep broke").
@@ -300,6 +287,24 @@ int main(int argc, char** argv) {
                 false);
   }
 
+  // Watchdog portability probe: --timeout shells out to coreutils
+  // timeout(1), which minimal containers and BSDs may not have. Probe ONCE
+  // up front and fall back to unbounded children with a loud warning —
+  // the alternative is every cell dying on shell exec error 127, which
+  // reads as 40 broken benches instead of one missing binary.
+  if (policy.timeout_s != 0 && !bench::timeout_binary_available()) {
+    std::cerr << "cobra_sweep: WARNING: coreutils 'timeout' binary not "
+                 "found; running children WITHOUT the " +
+                     std::to_string(policy.timeout_s) +
+                     "s watchdog (a hung child will park its cell)\n";
+    policy.timeout_s = 0;
+    if (hang_run != kNoInjection) {
+      parse_error("--inject-hang-run needs an enforceable --timeout, but "
+                  "the 'timeout' binary is unavailable on this system",
+                  false);
+    }
+  }
+
   // Runs a previous (interrupted/partial) sweep already completed, keyed by
   // cell; its quarantined cells are deliberately NOT here, so they rerun.
   std::unordered_map<std::string, std::string> resumed;
@@ -426,7 +431,7 @@ int main(int argc, char** argv) {
           }
           cmd += " >> " + shell_quote(run_log.string()) + " 2>&1";
 
-          const int code = child_exit_code(std::system(cmd.c_str()));
+          const int code = bench::spawn_child(cmd);
           if (code == 0) {
             const std::string json_text = read_file(run_json);
             if (bench::looks_like_bench_json(json_text)) {

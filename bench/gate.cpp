@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -222,14 +223,24 @@ void collect_records(const Value& records, const std::string& prefix,
     const std::size_t dup = seen[flat.name]++;
     if (dup != 0) flat.name += "#" + std::to_string(dup + 1);
     for (const auto& [key, field] : rec.object) {
-      if (key == "name" || field.kind != Value::Kind::Number) continue;
-      flat.fields.emplace_back(key, field.number);
+      if (key == "name") continue;
+      if (field.kind == Value::Kind::Number) {
+        flat.fields.emplace_back(key, field.number);
+      } else if (field.kind == Value::Kind::Null) {
+        // JsonReporter renders a non-finite measurement as `null` (JSON has
+        // no NaN/Inf literal). Map it back to NaN so the gate SEES it and
+        // fails it as "non-finite" — dropping the field here would let a
+        // divide-by-zero regression slide through as a missing field at
+        // worst, or pass silently when both sides broke the same way.
+        flat.fields.emplace_back(key, std::numeric_limits<double>::quiet_NaN());
+      }
     }
     out.push_back(std::move(flat));
   }
 }
 
 std::string format_number(double value) {
+  if (!std::isfinite(value)) return "null";  // %g would emit invalid JSON
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.9g", value);
   return buf;
@@ -326,6 +337,16 @@ GateReport run_gate(const std::string& baseline_text,
         continue;
       }
       ++report.fields_compared;
+      // NaN/Inf is a hard mismatch regardless of slack: a non-finite value
+      // means the measurement itself broke (overflow, divide-by-zero), and
+      // NaN's self-unequal arithmetic would otherwise make `rel > allowed`
+      // FALSE — the gate would pass precisely when the data is garbage.
+      if (!std::isfinite(base_value) || !std::isfinite(cand_it->second)) {
+        report.pass = false;
+        report.issues.push_back({base.name, field, "non-finite", base_value,
+                                 cand_it->second, 0, 0});
+        continue;
+      }
       const double allowed = timing ? config.time_slack : config.slack;
       const double rel = std::abs(cand_it->second - base_value) /
                          std::max(std::abs(base_value), 1e-12);

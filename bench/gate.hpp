@@ -41,10 +41,15 @@ struct GateConfig {
 };
 
 /// One gate failure (or the reason a comparison could not happen).
+/// "non-finite" is the hard-mismatch kind for NaN/Inf measurements: a bench
+/// JSON renders those as `null`, the gate maps them back to NaN, and ANY
+/// comparison touching one fails regardless of slack — NaN compares false
+/// with everything, so slack arithmetic alone would wave garbage through.
 struct GateIssue {
   std::string record;
   std::string field;  ///< empty for record-level issues
-  std::string kind;   ///< "missing-record" | "missing-field" | "exceeds-slack"
+  std::string kind;   ///< "missing-record" | "missing-field" |
+                      ///< "exceeds-slack" | "non-finite"
   double baseline = 0.0;
   double candidate = 0.0;
   double rel_delta = 0.0;  ///< |candidate - baseline| / max(|baseline|, eps)

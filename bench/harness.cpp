@@ -12,6 +12,7 @@
 #include <string_view>
 #include <thread>
 
+#include "core/audit.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -30,6 +31,7 @@ const std::vector<std::string>& shared_flags() {
   static const std::vector<std::string> flags = {
       "graph",   "out",   "smoke",
       "threads", "metrics", "trace",
+      "fault-plan",
       "inject-crash-after", "inject-hang"};
   return flags;
 }
@@ -130,7 +132,15 @@ io::Args parse_bench_args(int argc, const char* const* argv,
                      "was already created\n";
       }
     }
-    util::fault::arm_from_env();  // COBRA_FAULT="site[@after],..." arming
+    util::fault::arm_from_env();  // COBRA_FAULT="site[@after][%p][#k],..."
+    core::audit::arm_from_env();  // COBRA_AUDIT=0|1|2 invariant auditing
+    // --fault-plan FILE arms a recorded schedule (one spec per line, with
+    // seed= lines and # comments) — the replay lever for quarantined sweep
+    // cells. Arms ON TOP of any COBRA_FAULT sites; a malformed file is a
+    // hard parse error, unlike the env var's skip-and-warn.
+    if (args.has("fault-plan")) {
+      util::fault::arm_plan_file(args.get("fault-plan", ""));
+    }
     // Arm the per-round trace sink before any measurement: the engine's
     // expand() gates on obs::trace_enabled(), so opening the file here is
     // all a bench needs to start streaming rounds.

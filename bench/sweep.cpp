@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
+#ifdef __unix__
+#include <sys/wait.h>
+#endif
+
 #include "harness.hpp"
+#include "util/fault.hpp"
 
 namespace cobra::bench {
 
@@ -122,6 +128,33 @@ std::uint64_t backoff_delay_ms(const RetryPolicy& policy, std::size_t attempt) {
                  std::pow(factor, static_cast<double>(attempt));
   if (!(delay < static_cast<double>(kCapMs))) delay = static_cast<double>(kCapMs);
   return static_cast<std::uint64_t>(delay);
+}
+
+namespace {
+
+/// std::system returns a wait(2) status on POSIX, not the exit code;
+/// decode it so "exit 86" means the child's actual _Exit(86) and a signal
+/// death reads as the conventional 128+sig.
+int decode_wait_status(int rc) {
+#ifdef __unix__
+  if (WIFEXITED(rc)) return WEXITSTATUS(rc);
+  if (WIFSIGNALED(rc)) return 128 + WTERMSIG(rc);
+  return rc;
+#else
+  return rc;
+#endif
+}
+
+}  // namespace
+
+bool timeout_binary_available() {
+  return decode_wait_status(
+             std::system("timeout --version >/dev/null 2>&1")) == 0;
+}
+
+int spawn_child(const std::string& cmd) {
+  if (util::fault::should_fail("sweep.child_spawn")) return 127;
+  return decode_wait_status(std::system(cmd.c_str()));
 }
 
 bool looks_like_bench_json(const std::string& text) {

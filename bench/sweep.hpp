@@ -95,6 +95,22 @@ struct RetryPolicy {
 [[nodiscard]] std::uint64_t backoff_delay_ms(const RetryPolicy& policy,
                                              std::size_t attempt);
 
+/// True when the coreutils `timeout` binary is runnable from a shell.
+/// cobra_sweep probes this ONCE at startup when --timeout was requested:
+/// on a system without coreutils (minimal containers, BSDs) the watchdog
+/// falls back to running children with no wall-clock bound (with a loud
+/// warning) instead of turning every cell into an exec failure.
+[[nodiscard]] bool timeout_binary_available();
+
+/// Launch one child command line through the shell and return its DECODED
+/// exit code (std::system's wait(2) status folded to the child's real exit
+/// code; signal deaths read as the conventional 128+sig). Carries the
+/// `sweep.child_spawn` fault site (GRACEFUL at the sweep level): an armed
+/// firing fails the attempt with exit 127 — "command not found", the shell
+/// convention for a spawn that never ran — without executing anything, and
+/// the cell rides the normal retry/backoff/quarantine machinery.
+[[nodiscard]] int spawn_child(const std::string& cmd);
+
 /// Structural check that `text` is a bench JSON record (JsonReporter
 /// schema): an object with "benchmark" and "records" keys whose braces,
 /// brackets, and strings balance — depth returns to zero exactly at the

@@ -149,6 +149,13 @@ void FrontierEngine::materialize_bits(std::span<const std::uint64_t> words,
   par::ThreadPool* pool = opts_.parallel_dense_ops
                               ? pick_pool(std::max(count, n_words))
                               : nullptr;
+  // Fault site `frontier.materialize_alloc` (GRACEFUL): the parallel
+  // decode's offsets scratch cannot be allocated — degrade to the serial
+  // single-pass decode, which needs no side allocation and produces the
+  // same ascending vertex list by construction.
+  if (pool != nullptr && util::fault::should_fail("frontier.materialize_alloc")) {
+    pool = nullptr;
+  }
   if (pool == nullptr || n_words < kMinParallelDecodeWords) {
     out.reserve(count);
     detail::decode_bits(words, 0, n_words, out);
@@ -283,6 +290,51 @@ void FrontierEngine::emit_trace(const FrontierView& in, std::size_t produced,
                                             t0)
                   .count();
   obs::trace_round(t);
+}
+
+void FrontierEngine::audit_graph_once() {
+  if (audit_graph_checked_) return;
+  audit_graph_checked_ = true;
+  std::string why;
+  if (!g_->validate(&why)) audit::report_violation("graph-csr", why);
+}
+
+void FrontierEngine::audit_frontier(const Frontier& next, bool dense) {
+  if (!audit::sample_round(audit_seq_++)) return;
+  audit_graph_once();
+  const std::size_t n = g_->num_vertices();
+  std::string why;
+  if (dense) {
+    if (!audit::check_bitmap(next.bits_, next.count_, n, &why)) {
+      audit::report_violation("bitmap", why);
+    }
+  } else {
+    if (!audit::check_canonical_list(next.list_, n, &why)) {
+      audit::report_violation("canonical-order", why);
+    }
+    if (!audit::check_stamps(next.list_, stamp_, epoch_, &why)) {
+      audit::report_violation("epoch-stamps", why);
+    }
+  }
+}
+
+void FrontierEngine::audit_list(std::span<const Vertex> next, bool dense) {
+  if (!audit::sample_round(audit_seq_++)) return;
+  audit_graph_once();
+  const std::size_t n = g_->num_vertices();
+  std::string why;
+  if (!audit::check_canonical_list(next, n, &why)) {
+    audit::report_violation("canonical-order", why);
+  }
+  if (dense) {
+    // The materialized list came from the scratch bitmap — the two must
+    // agree on the count, and the bitmap itself must be healthy.
+    if (!audit::check_bitmap(scratch_bits_, next.size(), n, &why)) {
+      audit::report_violation("bitmap", why);
+    }
+  } else if (!audit::check_stamps(next, stamp_, epoch_, &why)) {
+    audit::report_violation("epoch-stamps", why);
+  }
 }
 
 void FrontierEngine::dedupe(std::span<const Vertex> in,

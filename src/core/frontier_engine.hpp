@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "core/audit.hpp"
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -17,6 +18,7 @@
 #include "parallel/thread_pool.hpp"
 #include "rng/batch.hpp"
 #include "rng/splitmix64.hpp"
+#include "util/fault.hpp"
 
 /// \file frontier_engine.hpp
 /// The shared frontier-expansion engine: executes one branching/coalescing
@@ -434,6 +436,14 @@ class FrontierEngine {
   void emit_trace(const FrontierView& in, std::size_t produced, bool dense,
                   std::chrono::steady_clock::time_point t0);
 
+  /// Invariant audits of a finished round's output (call sites gate on
+  /// audit::enabled(), the one relaxed load). Sampling policy and the
+  /// checks themselves live in core/audit.*; these adapters hand them the
+  /// engine's private state (stamps, epoch, scratch bitmap).
+  void audit_frontier(const Frontier& next, bool dense);
+  void audit_list(std::span<const Vertex> next, bool dense);
+  void audit_graph_once();
+
   /// Drive `sampler` over one chunk's active vertices with CSR row
   /// prefetch a few vertices ahead.
   template <typename Sampler, typename Sink>
@@ -525,6 +535,8 @@ class FrontierEngine {
   const char* last_switch_reason_ = "";
   bool last_parallel_ = false;     ///< the trace sink's "path" field
   std::uint64_t trace_id_ = 0;     ///< lazily drawn on first traced round
+  std::uint64_t audit_seq_ = 0;    ///< audited-round ordinal (sampling)
+  bool audit_graph_checked_ = false;  ///< CSR validated once per engine
 };
 
 template <typename Sampler>
@@ -684,6 +696,10 @@ void FrontierEngine::expand(const Frontier& frontier, Frontier& next,
   last_emitted_ = 0;
   if (frontier.empty()) return;  // no epoch/bitmap burn for extinct processes
 
+  // Advance the chaos round clock (event-log context for fault firings).
+  // Gated on the fault registry's relaxed load — free in fault-free runs.
+  if (util::fault::enabled()) util::fault::tick_round();
+
 #if COBRA_OBS_LEVEL >= 1
   static obs::Timer& step_timer = obs::registry().timer("frontier.step");
   obs::ScopedTimer timed(step_timer);
@@ -705,6 +721,9 @@ void FrontierEngine::expand(const Frontier& frontier, Frontier& next,
     expand_sparse(in, next.list_, round_seed, sampler);
     next.count_ = next.list_.size();
   }
+  // One relaxed load when unarmed, mirroring fault/trace; the sampled
+  // checks read the produced frontier only, never mutate it.
+  if (audit::enabled()) audit_frontier(next, dense);
   if (traced) emit_trace(in, next.count_, dense, t0);
 }
 
@@ -715,6 +734,8 @@ void FrontierEngine::expand(std::span<const Vertex> frontier,
   next.clear();
   last_emitted_ = 0;
   if (frontier.empty()) return;
+
+  if (util::fault::enabled()) util::fault::tick_round();
 
 #if COBRA_OBS_LEVEL >= 1
   static obs::Timer& step_timer = obs::registry().timer("frontier.step");
@@ -733,6 +754,7 @@ void FrontierEngine::expand(std::span<const Vertex> frontier,
   } else {
     expand_sparse(in, next, round_seed, sampler);
   }
+  if (audit::enabled()) audit_list(next, dense);
   if (traced) emit_trace(in, next.size(), dense, t0);
 }
 

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <new>
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "obs/metrics.hpp"
 #include "rng/xoshiro256.hpp"
+#include "util/fault.hpp"
 
 namespace cobra::gen {
 
@@ -355,6 +357,10 @@ Graph build_graph(const GraphSpec& spec, const GenOptions& opts) {
            "' (allowed: " + allowed + ")");
     }
   }
+  // Fault site `gen.alloc` (HARD): the family's CSR allocation fails.
+  // Surfaces as std::bad_alloc exactly where a real OOM on a too-large
+  // spec would — callers must fail loudly, never hand back a torso graph.
+  if (util::fault::should_fail("gen.alloc")) throw std::bad_alloc();
   Graph g = [&] {
 #if COBRA_OBS_LEVEL >= 1
     // Per-family build time ("gen.build.rreg", ...) plus a global count —
@@ -363,6 +369,14 @@ Graph build_graph(const GraphSpec& spec, const GenOptions& opts) {
     obs::count("gen.graphs_built");
 #endif
     Graph built = info->factory(spec, opts);
+    // Fault site `gen.build_graph` (HARD): the build dies mid-pipeline,
+    // after the factory but before lcc/validate — the half-built graph
+    // must be unwound, not returned.
+    if (util::fault::should_fail("gen.build_graph")) {
+      throw std::runtime_error(
+          "build_graph('" + spec.family() +
+          "'): injected fault at site gen.build_graph");
+    }
     if (spec.get_bool("lcc", false)) {
       built = graph::largest_component(built).graph;
     }

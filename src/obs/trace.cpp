@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "util/fault.hpp"
+
 namespace cobra::obs {
 
 namespace {
@@ -42,6 +44,14 @@ void close_global_trace() {
 }
 
 void trace_round(const RoundTrace& t) {
+  // Fault site `trace.write` (GRACEFUL): a failed telemetry write drops
+  // the line and counts it — it must never affect the simulation. Checked
+  // before g_mu so the fault registry lock and the sink lock never nest
+  // in this direction.
+  if (util::fault::should_fail("trace.write")) {
+    registry().counter("trace.lines_dropped").add(1);
+    return;
+  }
   char line[512];
   const int len = std::snprintf(
       line, sizeof(line),
@@ -59,6 +69,23 @@ void trace_round(const RoundTrace& t) {
   if (len <= 0) return;
   std::lock_guard lock(g_mu);
   if (g_file == nullptr) return;  // closed between the gate check and here
+  std::fwrite(line, 1, static_cast<std::size_t>(len), g_file);
+}
+
+void trace_fault(std::string_view site, std::uint64_t hit,
+                 std::uint64_t fire, std::uint64_t round) {
+  char line[256];
+  const int len = std::snprintf(
+      line, sizeof(line),
+      "{\"fault\": \"%.*s\", \"hit\": %llu, \"fire\": %llu, "
+      "\"round\": %llu}\n",
+      static_cast<int>(site.size()), site.data(),
+      static_cast<unsigned long long>(hit),
+      static_cast<unsigned long long>(fire),
+      static_cast<unsigned long long>(round));
+  if (len <= 0) return;
+  std::lock_guard lock(g_mu);
+  if (g_file == nullptr) return;
   std::fwrite(line, 1, static_cast<std::size_t>(len), g_file);
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.hpp"  // COBRA_OBS_LEVEL / kLevel
 
@@ -82,6 +83,18 @@ void close_global_trace();
 /// everything expensive (occupancy scan, clock reads) belongs behind
 /// that check, not in here.
 void trace_round(const RoundTrace& t);
+
+/// Append one fault-event JSONL line:
+///
+///   {"fault": "checkpoint.write", "hit": 3, "fire": 1, "round": 12}
+///
+/// Emitted by util::fault on every firing when the sink is armed, so a
+/// chaotic run's schedule is replayable from its trace artifact. This
+/// writer deliberately BYPASSES the `trace.write` fault site — the fault
+/// log must never be suppressed by the faults it is logging. Call sites
+/// must check trace_enabled() first.
+void trace_fault(std::string_view site, std::uint64_t hit,
+                 std::uint64_t fire, std::uint64_t round);
 
 /// Process-unique engine ids for the "trace" field, starting at 1.
 std::uint64_t next_trace_id() noexcept;

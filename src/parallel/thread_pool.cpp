@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/fault.hpp"
+
 namespace cobra::par {
 
 namespace {
@@ -21,6 +23,13 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
+    // Fault site `pool.thread_spawn` (GRACEFUL): a worker fails to start
+    // (real std::thread ctors throw resource_unavailable_try_again under
+    // thread-limit pressure). The pool comes up smaller instead of dying,
+    // but always keeps at least one worker so submitted tasks make
+    // progress. The engine's results are thread-count-invariant by
+    // contract, so a shrunken pool must not change any trajectory.
+    if (i > 0 && util::fault::should_fail("pool.thread_spawn")) continue;
     workers_.emplace_back([this] { worker_loop(); });
   }
 }

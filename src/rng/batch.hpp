@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <utility>
 
+#include "util/fault.hpp"
+
 /// \file batch.hpp
 /// Batched RNG buffering: wrap an engine and refill a block of raw 64-bit
 /// outputs at a time (ramping geometrically from a small first block up to
@@ -63,10 +65,18 @@ class Batched {
     // and get the amortization. Any refill size keeps the stream
     // generation-ordered, so this is invisible to the values produced.
     next_fill_ = std::min(N, next_fill_);
-    for (std::size_t i = 0; i < next_fill_; ++i) buffer_[i] = engine_();
-    filled_ = next_fill_;
+    // Fault site `rng.block_refill` (GRACEFUL): model a refill that cannot
+    // get its full block (the future SIMD/device refill path can fail
+    // partway) by degrading THIS refill to a single draw. The ordering
+    // guarantee above makes the degradation invisible to the value
+    // stream — only the block count changes — which is exactly the
+    // contract cobra_chaos verifies.
+    std::size_t fill = next_fill_;
+    if (util::fault::should_fail("rng.block_refill")) fill = 1;
+    for (std::size_t i = 0; i < fill; ++i) buffer_[i] = engine_();
+    filled_ = fill;
     pos_ = 0;
-    next_fill_ = std::min(N, next_fill_ * 2);
+    next_fill_ = std::min(N, fill * 2);
     ++refills_;
   }
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "util/fault.hpp"
 
@@ -25,10 +26,17 @@ struct File {
 
 void append_header(util::CheckpointWriter& w,
                    const std::vector<std::uint8_t>& payload) {
+  const obs::Manifest& m = obs::current_manifest();
   w.u32(kSnapshotMagic);
   w.u32(kSnapshotVersion);
+  w.str(m.git_sha);     // manifest stamp: which build wrote this file
+  w.str(m.build_type);
   w.u64(payload.size());
-  w.u64(util::fnv1a64(payload));
+  // The checksum chains over every byte that precedes it PLUS the payload,
+  // so a flipped bit anywhere in the file — manifest strings included — is
+  // rejected, not just payload corruption.
+  const std::uint64_t head_hash = util::fnv1a64(w.buffer());
+  w.u64(util::fnv1a64(payload, head_hash));
 }
 
 }  // namespace
@@ -48,6 +56,15 @@ void write_snapshot_file(const std::string& path,
   }
   obs::count("checkpoint.bytes_written", header.buffer().size() + payload.size());
 
+  // Fault site `checkpoint.torn_write` (HARD, delayed detection): the
+  // payload write dies halfway, the header still claims the full size,
+  // and — unlike any real crash under the tmp+rename protocol — the torn
+  // file LANDS on the target path and the writer reports success. This is
+  // the worst-case storage lie (a kernel/firmware write-through bug), and
+  // it exists so tests can prove the READ path rejects such a file via
+  // its size/checksum checks rather than deserializing garbage.
+  const bool torn = util::fault::should_fail("checkpoint.torn_write");
+
   // Write to a sibling temp file and rename over the target: rename(2) is
   // atomic on POSIX, so a crash at any point leaves either the previous
   // snapshot or the new one — never a torn file.
@@ -58,10 +75,11 @@ void write_snapshot_file(const std::string& path,
       throw util::CheckpointError("cannot open '" + tmp + "' for writing");
     }
     const auto& head = header.buffer();
+    const std::size_t payload_bytes = torn ? payload.size() / 2 : payload.size();
     if (std::fwrite(head.data(), 1, head.size(), out.f) != head.size() ||
-        (!payload.empty() &&
-         std::fwrite(payload.data(), 1, payload.size(), out.f) !=
-             payload.size()) ||
+        (payload_bytes != 0 &&
+         std::fwrite(payload.data(), 1, payload_bytes, out.f) !=
+             payload_bytes) ||
         std::fflush(out.f) != 0) {
       throw util::CheckpointError("short write to '" + tmp + "'");
     }
@@ -74,7 +92,8 @@ void write_snapshot_file(const std::string& path,
   }
 }
 
-std::vector<std::uint8_t> read_snapshot_file(const std::string& path) {
+std::vector<std::uint8_t> read_snapshot_file(const std::string& path,
+                                             SnapshotInfo* info) {
   if (util::fault::should_fail("checkpoint.read")) {
     throw util::CheckpointError("injected fault at checkpoint.read");
   }
@@ -82,49 +101,74 @@ std::vector<std::uint8_t> read_snapshot_file(const std::string& path) {
   if (in.f == nullptr) {
     throw util::CheckpointError("cannot open snapshot '" + path + "'");
   }
-  constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 8;
-  std::vector<std::uint8_t> head(kHeaderSize);
-  if (std::fread(head.data(), 1, kHeaderSize, in.f) != kHeaderSize) {
+  // The v2 header is variable-length (manifest strings), so read the whole
+  // file and let the bounds-checked reader parse it. The allocation is the
+  // on-disk size — real bytes, not a corruption-controlled length prefix —
+  // so the old size-field-vs-allocation guard is subsumed.
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw util::CheckpointError("cannot stat snapshot '" + path + "'");
+  }
+  std::vector<std::uint8_t> file_bytes(static_cast<std::size_t>(file_size));
+  if (!file_bytes.empty() &&
+      std::fread(file_bytes.data(), 1, file_bytes.size(), in.f) !=
+          file_bytes.size()) {
+    throw util::CheckpointError("cannot read snapshot '" + path + "'");
+  }
+  util::CheckpointReader r(file_bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  try {
+    magic = r.u32();
+    if (magic == kSnapshotMagic) version = r.u32();
+  } catch (const util::CheckpointError&) {
     throw util::CheckpointError("snapshot '" + path +
                                 "' is shorter than its header");
   }
-  util::CheckpointReader r(head);
-  const std::uint32_t magic = r.u32();
   if (magic != kSnapshotMagic) {
     throw util::CheckpointError("'" + path + "' is not a snapshot file");
   }
-  const std::uint32_t version = r.u32();
   if (version != kSnapshotVersion) {
     throw util::CheckpointError("snapshot '" + path + "' has version " +
                                 std::to_string(version) + ", expected " +
                                 std::to_string(kSnapshotVersion));
   }
-  const std::uint64_t size = r.u64();
-  const std::uint64_t crc = r.u64();
-  // Guard the allocation: a corrupt size field must not turn into a
-  // multi-gigabyte allocation attempt before the checksum can reject it.
-  std::error_code ec;
-  const auto file_size = std::filesystem::file_size(path, ec);
-  if (ec || file_size < kHeaderSize ||
-      size != file_size - kHeaderSize) {
+  std::uint64_t size = 0;
+  std::uint64_t crc = 0;
+  SnapshotInfo parsed;
+  parsed.version = version;
+  std::size_t crc_offset = 0;
+  try {
+    parsed.git_sha = r.str();
+    parsed.build_type = r.str();
+    size = r.u64();
+    crc_offset = file_bytes.size() - r.remaining();
+    crc = r.u64();
+  } catch (const util::CheckpointError&) {
+    throw util::CheckpointError("snapshot '" + path +
+                                "' is shorter than its header");
+  }
+  if (size != r.remaining()) {
     throw util::CheckpointError("snapshot '" + path +
                                 "' payload size mismatch (truncated?)");
   }
-  std::vector<std::uint8_t> payload(static_cast<std::size_t>(size));
-  if (!payload.empty() &&
-      std::fread(payload.data(), 1, payload.size(), in.f) != payload.size()) {
-    throw util::CheckpointError("snapshot '" + path + "' payload truncated");
-  }
+  std::vector<std::uint8_t> payload(
+      file_bytes.end() - static_cast<std::ptrdiff_t>(r.remaining()),
+      file_bytes.end());
   {
 #if COBRA_OBS_LEVEL >= 1
     static obs::Timer& timer = obs::registry().timer("checkpoint.checksum");
     obs::ScopedTimer timed(timer);
 #endif
-    if (util::fnv1a64(payload) != crc) {
+    const std::uint64_t head_hash =
+        util::fnv1a64(std::span(file_bytes.data(), crc_offset));
+    if (util::fnv1a64(payload, head_hash) != crc) {
       throw util::CheckpointError("snapshot '" + path + "' checksum mismatch");
     }
   }
-  obs::count("checkpoint.bytes_read", kHeaderSize + payload.size());
+  obs::count("checkpoint.bytes_read", file_bytes.size());
+  if (info != nullptr) *info = parsed;
   return payload;
 }
 

@@ -31,12 +31,24 @@
 ///      table), restored through the same structural-hook mechanism the
 ///      Runner already uses for start/observe.
 ///
-/// File format (little-endian):
+/// File format (little-endian), version 2:
 ///
-///   header: magic "CBCK" (u32) | version (u32) | payload_size (u64)
-///           | payload_fnv1a64 (u64)
+///   header: magic "CBCK" (u32) | version (u32)
+///           | git_sha (u64 length + bytes) | build_type (u64 length + bytes)
+///           | payload_size (u64) | fnv1a64 (u64)
 ///   payload: the CheckpointWriter byte stream (process state, engine
 ///            state, rounds, stop/observer state — in Runner order)
+///
+/// The fnv1a64 digest chains over every header byte that precedes it and
+/// then the payload, so single-bit corruption ANYWHERE in the file — the
+/// manifest strings included — fails the read, not just payload damage.
+///
+/// The git_sha / build_type fields stamp the run manifest (obs/manifest)
+/// of the WRITING build into the file, so a snapshot resumed under a
+/// different binary is detectable: `Runner::resume_from` compares them to
+/// the current manifest and warns on mismatch (the resume proceeds — the
+/// payload is version-gated, and cross-build resume is legitimate in
+/// recovery scenarios — but it is never silent).
 ///
 /// Writes are atomic (temp file + rename), so a crash mid-snapshot leaves
 /// the previous snapshot intact, never a torn file; reads verify magic,
@@ -45,12 +57,24 @@
 /// carries the "checkpoint.write" / "checkpoint.read" fault-injection
 /// sites (util/fault.hpp): periodic snapshot failures inside the Runner
 /// degrade to a warning (the run continues, the previous snapshot
-/// survives); resume failures throw.
+/// survives); resume failures throw. A third site, "checkpoint.torn_write",
+/// models the failure the atomic rename exists to prevent ever REACHING
+/// the target path: it truncates the payload mid-write while the header
+/// still claims the full size, and lets the rename land — the read path
+/// must reject the result via the size/checksum checks (and does; the
+/// chaos tests pin it).
 
 namespace cobra::sim {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x4B434243u;  // "CBCK"
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;  // v2: manifest stamp
+
+/// Header facts of a snapshot file (everything before the payload).
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  std::string git_sha;     ///< manifest of the build that WROTE the file
+  std::string build_type;
+};
 
 /// A process that can round-trip its state through the checkpoint byte
 /// stream. Contract: `restore_state` must leave the process exactly as the
@@ -74,9 +98,10 @@ void write_snapshot_file(const std::string& path,
 
 /// Read and verify a snapshot file; returns the payload. Throws
 /// util::CheckpointError on a missing/truncated/corrupt file, a magic or
-/// version mismatch, or an armed "checkpoint.read" fault.
+/// version mismatch, or an armed "checkpoint.read" fault. When `info` is
+/// non-null it receives the header facts (version, manifest stamp).
 [[nodiscard]] std::vector<std::uint8_t> read_snapshot_file(
-    const std::string& path);
+    const std::string& path, SnapshotInfo* info = nullptr);
 
 /// True when `path` holds a readable, checksum-valid snapshot (the cheap
 /// "can I resume?" probe; never throws).

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "core/cover_time.hpp"
 #include "core/types.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/observers.hpp"
@@ -133,7 +135,23 @@ class Runner {
     requires Checkpointable<P>
   RunResult resume_from(P& p, core::Engine& gen, const SnapshotPolicy& policy,
                         Stop&& stop, Obs&&... obs) const {
-    const std::vector<std::uint8_t> payload = read_snapshot_file(policy.path);
+    SnapshotInfo snap_info;
+    const std::vector<std::uint8_t> payload =
+        read_snapshot_file(policy.path, &snap_info);
+    // A snapshot resumed under a different binary is legitimate (crash
+    // recovery after a redeploy) but must never be silent: trajectory
+    // equivalence is only guaranteed when the code is the same.
+    const obs::Manifest& manifest = obs::current_manifest();
+    if (snap_info.git_sha != manifest.git_sha ||
+        snap_info.build_type != manifest.build_type) {
+      std::fprintf(stderr,
+                   "[runner] WARNING: snapshot '%s' was written by build "
+                   "%s/%s but this binary is %s/%s — resumed trajectories "
+                   "may diverge from the uninterrupted run\n",
+                   policy.path.c_str(), snap_info.git_sha.c_str(),
+                   snap_info.build_type.c_str(), manifest.git_sha.c_str(),
+                   manifest.build_type.c_str());
+    }
     util::CheckpointReader r(payload);
     p.restore_state(r);
     detail::restore_engine(r, gen);

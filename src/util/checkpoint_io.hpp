@@ -5,6 +5,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 /// \file checkpoint_io.hpp
@@ -34,10 +35,13 @@ class CheckpointError : public std::runtime_error {
 
 /// FNV-1a 64-bit over `bytes` — the payload checksum. Not cryptographic;
 /// it exists to reject torn/truncated snapshot files, and 64 bits of
-/// mixing is plenty for that.
+/// mixing is plenty for that. Passing a previous result as `hash` chains
+/// the digest across buffers (hash of A then B == hash of A ++ B), which
+/// is how the snapshot checksum covers header bytes and payload without
+/// concatenating them.
 [[nodiscard]] constexpr std::uint64_t fnv1a64(
-    std::span<const std::uint8_t> bytes) noexcept {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
+    std::span<const std::uint8_t> bytes,
+    std::uint64_t hash = 0xcbf29ce484222325ULL) noexcept {
   for (const std::uint8_t b : bytes) {
     hash ^= b;
     hash *= 0x100000001b3ULL;
@@ -78,6 +82,12 @@ class CheckpointWriter {
   void bytes(std::span<const std::uint8_t> data) {
     u64(data.size());
     bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed UTF-8/ASCII string (manifest stamps, labels).
+  void str(std::string_view value) {
+    u64(value.size());
+    bytes_.insert(bytes_.end(), value.begin(), value.end());
   }
 
   [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept {
@@ -141,6 +151,15 @@ class CheckpointReader {
     need(count, "byte span body");
     std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
                                   bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+    pos_ += static_cast<std::size_t>(count);
+    return out;
+  }
+
+  [[nodiscard]] std::string str() {
+    const std::uint64_t count = u64();
+    need(count, "string body");
+    std::string out(reinterpret_cast<const char*>(bytes_.data()) + pos_,
+                    static_cast<std::size_t>(count));
     pos_ += static_cast<std::size_t>(count);
     return out;
   }

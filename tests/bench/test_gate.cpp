@@ -174,6 +174,34 @@ TEST(Gate, SweepFilesGateRecordsPerCell) {
   EXPECT_EQ(report.issues[0].record, "bench_demo|ring:n=64|t2|cover");
 }
 
+TEST(Gate, NonFiniteCandidateFieldIsAHardMismatch) {
+  // JsonReporter renders NaN/Inf as null; the gate maps null back to NaN
+  // and must fail the comparison outright — NaN compares false with
+  // everything, so plain slack arithmetic would wave garbage through.
+  const std::string candidate = with(kBaseline, "\"ratio\": 1.5,",
+                                     "\"ratio\": null,");
+  const auto report = bench::run_gate(kBaseline, candidate, {});
+  EXPECT_FALSE(report.pass);
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind, "non-finite");
+  EXPECT_EQ(report.issues[0].record, "case_a");
+  EXPECT_EQ(report.issues[0].field, "ratio");
+  // Both directions are hard failures: a poisoned BASELINE must not
+  // become a free pass for the candidate either.
+  const std::string bad_base = with(kBaseline, "\"rounds\": 100,",
+                                    "\"rounds\": null,");
+  const auto flipped = bench::run_gate(bad_base, kBaseline, {});
+  EXPECT_FALSE(flipped.pass);
+  ASSERT_EQ(flipped.issues.size(), 1u);
+  EXPECT_EQ(flipped.issues[0].kind, "non-finite");
+  // And the report renders the offending values as null, not as nan text
+  // that would corrupt the report JSON.
+  const std::string json = bench::render_gate_report(report, {});
+  EXPECT_NE(json.find("\"non-finite\""), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
 TEST(Gate, ReportJsonCarriesVerdictAndIssues) {
   const std::string candidate = with(kBaseline, "\"ratio\": 1.5,", "\"ratio\": 1.7,");
   bench::GateConfig config;

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "sweep.hpp"
 
 #include "harness.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -254,6 +257,35 @@ TEST(SweepMerge, MetricsSnapshotsEmbedWithoutBreakingTheFormat) {
   ASSERT_EQ(extracted.size(), 2u);
   EXPECT_EQ(extracted[0].json_text, child);
   EXPECT_EQ(extracted[1].json_text, child);
+}
+
+TEST(SweepSpawn, ChildSpawnFaultFailsTheAttemptWithoutExecuting) {
+  // sweep.child_spawn (GRACEFUL at the sweep level): an armed firing
+  // returns 127 — "command not found" — without running the command, and
+  // the cell rides the normal retry/quarantine machinery. The marker file
+  // proves nothing was executed.
+  util::fault::disarm_all();
+  const std::string marker = ::testing::TempDir() + "spawn_marker";
+  std::remove(marker.c_str());
+  util::fault::arm("sweep.child_spawn");
+  EXPECT_EQ(bench::spawn_child("touch " + marker), 127);
+  EXPECT_FALSE(std::ifstream(marker).good());
+  util::fault::disarm_all();
+  // Disarmed, the same command runs and its real exit code comes back.
+  EXPECT_EQ(bench::spawn_child("touch " + marker), 0);
+  EXPECT_TRUE(std::ifstream(marker).good());
+  EXPECT_EQ(bench::spawn_child("exit 3"), 3);
+  std::remove(marker.c_str());
+}
+
+TEST(SweepSpawn, TimeoutProbeAgreesWithTheShell) {
+  // The probe must agree with what spawn_child would see: if it reports
+  // the coreutils binary, `timeout 5 true` must actually work.
+  if (bench::timeout_binary_available()) {
+    EXPECT_EQ(bench::spawn_child("timeout 5 true >/dev/null 2>&1"), 0);
+  } else {
+    EXPECT_NE(bench::spawn_child("timeout --version >/dev/null 2>&1"), 0);
+  }
 }
 
 TEST(SweepMerge, DistinctContextValuesFindsFingerprintDrift) {

@@ -11,7 +11,9 @@
 #include "core/cobra_walk.hpp"
 #include "core/cover_time.hpp"
 #include "core/generalized_cobra.hpp"
+#include "core/gossip.hpp"
 #include "gen/registry.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/checkpoint_io.hpp"
 #include "util/fault.hpp"
 
@@ -97,6 +99,37 @@ TEST_F(EngineFailureTest, DenseAllocFailureFallsBackToSparseBitIdentically) {
   EXPECT_EQ(faulty.engine().dense_fallbacks(), degraded.steps);
   EXPECT_EQ(faulty.engine().dense_rounds(), 0u);
   EXPECT_GT(util::fault::hits("frontier.dense_alloc"), 0u);
+}
+
+TEST_F(EngineFailureTest, MaterializeAllocFailureDecodesSeriallyBitIdentically) {
+  // The span-overload output path: dense rounds decode the result bitmap
+  // into a vertex list via materialize_bits. When the parallel decode's
+  // offsets scratch cannot be allocated (frontier.materialize_alloc), the
+  // engine degrades to the serial single-pass decode — same ascending
+  // list by construction, so a pool-driven gossip run must be
+  // round-for-round identical with the site armed.
+  const graph::Graph g = gen::build_graph("rreg:n=512,d=4,seed=21");
+  par::ThreadPool pool(2);
+  std::uint64_t fired = 0;
+  const auto run = [&](bool faulted) {
+    if (faulted) util::fault::arm("frontier.materialize_alloc");
+    core::Engine gen(17);
+    core::Gossip gossip(g, 0, core::GossipMode::Push);
+    gossip.engine().options() = {64, 1, &pool};
+    gossip.engine().options().mode = core::FrontierMode::ForceDense;
+    std::vector<std::vector<core::Vertex>> rounds;
+    while (!gossip.complete() && gossip.round() < 256) {
+      gossip.step(gen);
+      rounds.emplace_back(gossip.active().begin(), gossip.active().end());
+    }
+    if (faulted) fired = util::fault::fired("frontier.materialize_alloc");
+    util::fault::disarm_all();
+    return rounds;
+  };
+  const auto expected = run(false);
+  const auto degraded = run(true);
+  EXPECT_EQ(degraded, expected);
+  EXPECT_GT(fired, 0u);
 }
 
 TEST_F(EngineFailureTest, MidRunAllocFailureSwitchesRepresentationSafely) {

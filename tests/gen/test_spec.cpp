@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <new>
 #include <stdexcept>
+#include <string>
 
 #include "gen/registry.hpp"
 #include "graph/generators.hpp"
+#include "util/fault.hpp"
 
 namespace cobra::gen {
 namespace {
@@ -125,6 +128,33 @@ TEST(Registry, LccExtractsLargestComponent) {
   EXPECT_GT(g.num_vertices(), 0u);
   EXPECT_GT(g.min_degree(), 0u);
   EXPECT_LT(g.num_vertices(), 300u);
+}
+
+TEST(Registry, AllocFaultSurfacesAsBadAlloc) {
+  // gen.alloc (HARD): the CSR allocation fails exactly where a real OOM
+  // would. build_graph must throw std::bad_alloc, never hand back a
+  // torso graph — and disarmed, the same spec builds fine again.
+  util::fault::disarm_all();
+  util::fault::arm("gen.alloc");
+  EXPECT_THROW((void)build_graph("ring:n=64"), std::bad_alloc);
+  util::fault::disarm_all();
+  EXPECT_EQ(build_graph("ring:n=64").num_vertices(), 64u);
+}
+
+TEST(Registry, BuildFaultUnwindsMidPipelineNamingTheSite) {
+  // gen.build_graph (HARD): the build dies after the family factory. The
+  // error must name the injected site so a chaos log reads as a fault,
+  // not as a generator bug.
+  util::fault::disarm_all();
+  util::fault::arm("gen.build_graph");
+  try {
+    (void)build_graph("rreg:n=64,d=4,seed=1");
+    FAIL() << "armed gen.build_graph did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("gen.build_graph"),
+              std::string::npos);
+  }
+  util::fault::disarm_all();
 }
 
 TEST(Registry, FamiliesAreSortedAndDocumented) {

@@ -3,6 +3,9 @@
 // runtime — the JSONL trace sink plus a MetricsObserver — and the
 // reference runs bare; sizes, first-visit times, round counts, and the
 // post-run engine state must match exactly, at 1, 2, and 8 threads.
+// The worst-case variant additionally arms the invariant auditor at its
+// loudest level AND a storm of GRACEFUL fault sites: observation and
+// graceful degradation may cost speed, never results.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/audit.hpp"
 #include "core/cobra_walk.hpp"
 #include "core/gossip.hpp"
 #include "gen/registry.hpp"
@@ -20,6 +24,7 @@
 #include "sim/process.hpp"
 #include "sim/runner.hpp"
 #include "sim/stop.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -95,6 +100,29 @@ TEST(Inert, CobraWalkCoverTrajectoriesIgnoreTelemetry) {
 TEST(Inert, GossipCoverTrajectoriesIgnoreTelemetry) {
   const graph::Graph g = gen::build_graph("rreg:n=256,d=6,seed=21");
   expect_inert([&] { return core::Gossip(g, 0); }, 4321);
+}
+
+TEST(Inert, AuditAndGracefulFaultStormStayInertToo) {
+  // The chaos-harness keystone: full telemetry + the auditor at level 2 +
+  // every in-engine GRACEFUL fault site armed probabilistically must
+  // still reproduce the bare serial trajectory at 1/2/8 threads.
+  const graph::Graph g = gen::build_graph("rreg:n=512,d=4,seed=7");
+  const auto make = [&] { return core::CobraWalk(g, 0, 2); };
+  const Trajectory reference = run_case(make, 1234, nullptr, false);
+
+  core::audit::set_level(2);
+  core::audit::set_throw_on_violation(true);  // a violation fails the test
+  util::fault::arm_plan(util::fault::FaultPlan::parse(
+      "frontier.dense_alloc@2%0.5,frontier.materialize_alloc%0.5,"
+      "rng.block_refill%0.25,trace.write@3%0.5"));
+  par::ThreadPool pool1(1), pool2(2), pool8(8);
+  for (par::ThreadPool* pool : {&pool1, &pool2, &pool8}) {
+    EXPECT_EQ(run_case(make, 1234, pool, true), reference);
+  }
+  util::fault::disarm_all();
+  core::audit::set_throw_on_violation(false);
+  core::audit::set_level(0);
+  EXPECT_EQ(run_case(make, 1234, nullptr, false), reference);  // and back off
 }
 
 }  // namespace

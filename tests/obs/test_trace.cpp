@@ -12,7 +12,9 @@
 
 #include "core/cobra_walk.hpp"
 #include "gen/registry.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/runner.hpp"
 #include "sim/stop.hpp"
@@ -164,6 +166,62 @@ TEST_F(TraceTest, ParallelRoundsReportChunkedPath) {
     }
   }
   EXPECT_TRUE(saw_parallel_chunks);
+}
+
+TEST_F(TraceTest, TraceWriteFaultDropsLinesAndCountsThem) {
+  // The trace.write site (GRACEFUL): an armed firing drops the line and
+  // bumps trace.lines_dropped — telemetry loss must never surface as an
+  // exception or affect results.
+  const std::string path = testing::TempDir() + "cobra_trace_fault.jsonl";
+  ASSERT_TRUE(obs::open_global_trace(path));
+  const std::uint64_t dropped_before =
+      obs::registry().counter("trace.lines_dropped").value();
+  util::fault::disarm_all();
+  util::fault::arm("trace.write", 2);  // drop from the 3rd line onward
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    obs::RoundTrace t;
+    t.trace_id = 77;
+    t.round = r;
+    t.frontier = 1;
+    obs::trace_round(t);
+  }
+  util::fault::disarm_all();
+  obs::close_global_trace();
+  // The file holds the 2 surviving round lines — plus one {"fault": ...}
+  // event line per firing, because the fault log bypasses the site it
+  // reports on. Count the kinds separately.
+  std::size_t round_lines = 0, fault_lines = 0;
+  for (const std::string& line : read_lines(path)) {
+    if (raw_field(line, "fault").empty()) {
+      ++round_lines;
+    } else {
+      ++fault_lines;
+    }
+  }
+  EXPECT_EQ(round_lines, 2u);
+  EXPECT_EQ(fault_lines, 3u);
+  EXPECT_EQ(obs::registry().counter("trace.lines_dropped").value(),
+            dropped_before + 3);
+}
+
+TEST_F(TraceTest, FaultFiringsLandInTheTraceLog) {
+  // Every firing is emitted as a {"fault": ...} line — and trace_fault
+  // bypasses the trace.write site, so the fault log cannot suppress
+  // itself even while trace.write is armed.
+  const std::string path = testing::TempDir() + "cobra_fault_events.jsonl";
+  ASSERT_TRUE(obs::open_global_trace(path));
+  util::fault::disarm_all();
+  util::fault::arm("trace.write", 1000);  // armed but never firing
+  util::fault::arm("demo.site", 1);
+  (void)util::fault::should_fail("demo.site");  // hit 0: no fire
+  (void)util::fault::should_fail("demo.site");  // hit 1: fires
+  util::fault::disarm_all();
+  obs::close_global_trace();
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(str_field(lines[0], "fault"), "demo.site");
+  EXPECT_EQ(u64_field(lines[0], "hit"), 1u);
+  EXPECT_EQ(u64_field(lines[0], "fire"), 1u);
 }
 
 TEST_F(TraceTest, ReopenTruncatesAndReuses) {

@@ -8,6 +8,8 @@
 #include <set>
 #include <thread>
 
+#include "util/fault.hpp"
+
 namespace cobra::par {
 namespace {
 
@@ -102,6 +104,35 @@ TEST(ThreadPool, ReusableAfterWaitIdle) {
     pool.wait_idle();
     EXPECT_EQ(counter.load(), (round + 1) * 10);
   }
+}
+
+TEST(ThreadPool, SpawnFaultShrinksThePoolButKeepsOneWorker) {
+  // pool.thread_spawn (GRACEFUL): a worker start fails, the pool comes up
+  // smaller. Worker 0 is exempt from the site, so even every-spawn-fails
+  // leaves one worker and submitted tasks still complete.
+  util::fault::disarm_all();
+  util::fault::arm("pool.thread_spawn");
+  ThreadPool pool(4);
+  const std::uint64_t fired = util::fault::fired("pool.thread_spawn");
+  util::fault::disarm_all();
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(fired, 3u);  // workers 1..3 each lost to the fault
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SpawnFaultLimitLosesOnlySomeWorkers) {
+  util::fault::disarm_all();
+  // at most 2 spawn failures
+  util::fault::arm_spec(
+      util::fault::FaultPlan::parse("pool.thread_spawn#2").specs[0]);
+  ThreadPool pool(6);
+  util::fault::disarm_all();
+  EXPECT_EQ(pool.size(), 4u);
 }
 
 TEST(ThreadPool, QueuedCountsOnlyPending) {

@@ -7,6 +7,7 @@
 
 #include "rng/distributions.hpp"
 #include "rng/xoshiro256.hpp"
+#include "util/fault.hpp"
 
 namespace cobra::rng {
 namespace {
@@ -39,6 +40,25 @@ TEST(Batched, RefillsRampGeometrically) {
   EXPECT_EQ(batched.buffered(), 0u);
   (void)batched();
   EXPECT_EQ(batched.buffered(), 15u);  // ramped to the full block
+}
+
+TEST(Batched, RefillFaultDegradesBlockSizeNotTheStream) {
+  // The rng.block_refill site shrinks a refill to a single draw — a
+  // GRACEFUL degradation: by the Batched ordering guarantee the VALUES
+  // handed out are unchanged, only the refill cadence differs. This is
+  // what makes the site safe to fuzz in cobra_chaos.
+  util::fault::disarm_all();
+  Xoshiro256 raw(23);
+  Batched<Xoshiro256, 32> batched(Xoshiro256(23));
+  util::fault::arm_spec(util::fault::FaultPlan::parse("rng.block_refill%0.5")
+                            .specs[0],
+                        /*seed=*/11);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(batched(), raw()) << "draw " << i;
+  }
+  EXPECT_GT(util::fault::fired("rng.block_refill"), 0u);
+  EXPECT_GT(batched.refills(), 2000u / 32u);  // degraded refills happened
+  util::fault::disarm_all();
 }
 
 TEST(Batched, InnerAdvancesPastBuffer) {

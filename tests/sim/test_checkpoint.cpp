@@ -17,6 +17,7 @@
 #include "core/generalized_cobra.hpp"
 #include "core/gossip.hpp"
 #include "gen/registry.hpp"
+#include "obs/manifest.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/observers.hpp"
@@ -337,6 +338,35 @@ TEST_F(CheckpointTest, PeriodicSnapshotFaultWarnsAndRunContinues) {
   EXPECT_EQ(a.rounds, b.rounds);
   EXPECT_GT(util::fault::hits("checkpoint.write"), 0u);
   EXPECT_FALSE(sim::snapshot_valid(snap));
+}
+
+TEST_F(CheckpointTest, TornWriteLandsOnDiskButIsRejectedOnRead) {
+  // checkpoint.torn_write (HARD): the payload truncates mid-write while
+  // the header still claims the full size, and the atomic rename lands
+  // the torso on the target path. The write itself reports success (the
+  // torn write models a lying disk, not a detected error) — the READ
+  // side must reject the file via the size/checksum checks.
+  const std::string snap = temp_path("torn.snap");
+  util::fault::arm("checkpoint.torn_write");
+  sim::write_snapshot_file(snap, {9, 8, 7, 6, 5, 4, 3, 2, 1, 0});
+  util::fault::disarm_all();
+  EXPECT_TRUE(std::ifstream(snap).good()) << "torn write never landed";
+  EXPECT_FALSE(sim::snapshot_valid(snap));
+  EXPECT_THROW((void)sim::read_snapshot_file(snap), util::CheckpointError);
+}
+
+TEST_F(CheckpointTest, SnapshotHeaderCarriesTheBuildManifest) {
+  // v2 headers stamp the writing build's manifest so resume can warn on a
+  // cross-build restore instead of silently mixing binaries.
+  const std::string snap = temp_path("stamped.snap");
+  sim::write_snapshot_file(snap, {42});
+  sim::SnapshotInfo info;
+  EXPECT_EQ(sim::read_snapshot_file(snap, &info),
+            std::vector<std::uint8_t>{42});
+  const obs::Manifest m = obs::current_manifest();
+  EXPECT_EQ(info.version, sim::kSnapshotVersion);
+  EXPECT_EQ(info.git_sha, m.git_sha);
+  EXPECT_EQ(info.build_type, m.build_type);
 }
 
 TEST_F(CheckpointTest, ResumeFromFaultyReadFailsLoudly) {
