@@ -17,10 +17,13 @@
 ///   return count and the scaling sweep for CI.
 
 #include <cmath>
+#include <limits>
 
 #include "harness.hpp"
 
 #include "core/metropolis_walk.hpp"
+#include "sim/runner.hpp"
+#include "sim/stop.hpp"
 
 namespace {
 
@@ -35,7 +38,17 @@ void return_time_table(bench::Harness& h,
   for (const auto& c : h.suite(cases)) {
     core::MetropolisWalk walk(c.graph, 0);
     core::Engine gen(0xA6100 ^ std::hash<std::string>{}(c.spec));
-    const double measured = walk.measure_return_time(gen, returns, 1u << 24);
+    // The excursion counter on sim::Runner replaces the walk's internal
+    // return-time loop — same draws, same accounting (the crosscheck suite
+    // pins the two against each other per seed).
+    sim::ExcursionStop excursions(0, returns);
+    const auto run =
+        sim::Runner(std::uint64_t{1} << 24).run(walk, gen, excursions);
+    const double measured =
+        excursions.completed() == 0
+            ? std::numeric_limits<double>::infinity()
+            : static_cast<double>(run.rounds) /
+                  static_cast<double>(excursions.completed());
     const bool margin_ok = walk.min_transition_margin() >= -1e-9;
     table.add_row({c.name, io::Table::fmt(walk.return_time_bound(), 3),
                    io::Table::fmt(measured, 3), margin_ok ? "yes" : "NO"});

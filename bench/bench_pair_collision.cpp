@@ -33,6 +33,8 @@
 #include "core/pair_walk.hpp"
 #include "graph/spectral.hpp"
 #include "graph/tensor_product.hpp"
+#include "sim/runner.hpp"
+#include "sim/stop.hpp"
 
 namespace {
 
@@ -105,8 +107,12 @@ void collision_table(bench::Harness& h, std::uint32_t trials) {
     const auto prob = bench::measure(
         trials, 0xA4200 ^ std::hash<std::string>{}(c.spec),
         [&, s](core::Engine& gen) {
+          // The product walk as a sim::Process on D(G x G): a fixed-horizon
+          // Runner schedule replaces the hand-rolled step loop (identical
+          // draws — the Runner adds no randomness).
           core::PairWalk walk(g, 0, 0, /*lazy=*/true);
-          for (std::uint64_t t = 0; t < s; ++t) walk.step(gen);
+          sim::FixedRounds horizon(s);
+          sim::Runner(s).run(walk, gen, horizon);
           return walk.collided() ? 1.0 : 0.0;
         });
     const double stationary_sum = 2.0 / (n + 1.0);

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/cobra_walk.hpp"
+#include "core/greedy_mis.hpp"
 #include "gen/registry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/splitmix64.hpp"
@@ -64,6 +65,20 @@ struct DisarmGuard {
   ~DisarmGuard() { fault::disarm_all(); }
 };
 
+/// The trajectory function a chaos run fuzzes — selected by
+/// ChaosConfig::process. Both share one signature so run_chaos stays
+/// process-agnostic.
+using TrajectoryFn = std::uint64_t (*)(const graph::Graph&, std::size_t,
+                                       std::uint64_t, std::uint64_t,
+                                       std::uint32_t, bool);
+
+TrajectoryFn select_trajectory(const std::string& process) {
+  if (process == "cobra") return &chaos_trajectory;
+  if (process == "mis") return &chaos_mis_trajectory;
+  throw std::invalid_argument("unknown chaos process '" + process +
+                              "' (want cobra or mis)");
+}
+
 /// Outcome of one faulted trajectory: fingerprint, or the exception text
 /// when the run threw (graceful plans must not throw).
 struct TrajectoryOutcome {
@@ -72,7 +87,8 @@ struct TrajectoryOutcome {
   std::string error;
 };
 
-TrajectoryOutcome faulted_trajectory(const graph::Graph& g,
+TrajectoryOutcome faulted_trajectory(const TrajectoryFn trajectory,
+                                     const graph::Graph& g,
                                      const fault::FaultPlan& plan,
                                      std::size_t threads,
                                      std::uint64_t walk_seed,
@@ -85,7 +101,7 @@ TrajectoryOutcome faulted_trajectory(const graph::Graph& g,
   TrajectoryOutcome out;
   try {
     out.fingerprint =
-        chaos_trajectory(g, threads, walk_seed, rounds, branching, inject_bug);
+        trajectory(g, threads, walk_seed, rounds, branching, inject_bug);
   } catch (const std::exception& e) {
     out.threw = true;
     out.error = e.what();
@@ -161,8 +177,42 @@ std::uint64_t chaos_trajectory(const graph::Graph& g, std::size_t threads,
   return fp;
 }
 
+std::uint64_t chaos_mis_trajectory(const graph::Graph& g, std::size_t threads,
+                                   std::uint64_t walk_seed,
+                                   std::uint64_t rounds,
+                                   std::uint32_t /*branching*/,
+                                   bool inject_bug) {
+  // Per-call pool + fuzz-friendly chunking, same rationale as the cobra
+  // trajectory above — and the retain rounds run through the same pool.
+  par::ThreadPool pool(threads == 0 ? 1 : threads);
+  core::FrontierOptions opts;
+  opts.pool = &pool;
+  opts.chunk_size = 64;
+  opts.parallel_threshold = 1;
+  core::GreedyMIS mis(g, opts);
+
+  core::Engine gen(walk_seed);
+  std::uint64_t fp = hash_round(0xcbf29ce484222325ULL, mis.active());
+  for (std::uint64_t r = 0; r < rounds && !mis.done(); ++r) {
+    mis.step(gen);
+    if (inject_bug && !mis.done() &&
+        fault::should_fail("chaos.degrade_bug")) {
+      // The removal-round planted bug: one extra, UNHASHED round. Every
+      // later fingerprint link sees a shifted trajectory (and usually a
+      // different final MIS). Behind inject_bug, like the cobra one.
+      mis.step(gen);
+    }
+    fp = hash_round(fp, mis.active());
+  }
+  // The collected set is part of the contract: a run with the right
+  // trajectory but the wrong MIS must still diverge.
+  fp = hash_round(fp, mis.mis());
+  return fp;
+}
+
 ChaosReport run_chaos(const ChaosConfig& config) {
   ChaosReport report;
+  const TrajectoryFn trajectory = select_trajectory(config.process);
   const std::vector<std::string> catalog =
       chaos_graceful_sites(config.inject_bug);
 
@@ -176,22 +226,22 @@ ChaosReport run_chaos(const ChaosConfig& config) {
       const std::uint64_t cell_seed = rng::derive_seed(config.seed, cell_index);
       ++cell_index;
       const std::uint64_t walk_seed = rng::derive_seed(cell_seed, 0x5eed);
-      const std::uint64_t baseline = chaos_trajectory(
+      const std::uint64_t baseline = trajectory(
           g, threads, walk_seed, config.rounds, config.branching, false);
 
       const auto reproduces = [&](const fault::FaultPlan& plan) {
-        const TrajectoryOutcome out =
-            faulted_trajectory(g, plan, threads, walk_seed, config.rounds,
-                               config.branching, config.inject_bug);
+        const TrajectoryOutcome out = faulted_trajectory(
+            trajectory, g, plan, threads, walk_seed, config.rounds,
+            config.branching, config.inject_bug);
         return out.threw || out.fingerprint != baseline;
       };
 
       for (std::size_t i = 0; i < config.schedules; ++i) {
         const fault::FaultPlan plan = random_plan(cell_seed, i, catalog);
         ++report.fuzz_runs;
-        const TrajectoryOutcome out =
-            faulted_trajectory(g, plan, threads, walk_seed, config.rounds,
-                               config.branching, config.inject_bug);
+        const TrajectoryOutcome out = faulted_trajectory(
+            trajectory, g, plan, threads, walk_seed, config.rounds,
+            config.branching, config.inject_bug);
         if (!out.threw && out.fingerprint == baseline) continue;
 
         ChaosViolation v;
@@ -269,8 +319,9 @@ ChaosReport run_chaos(const ChaosConfig& config) {
 
 std::string render_chaos_report(const ChaosReport& report,
                                 const ChaosConfig& config) {
-  std::string out = "cobra_chaos: " + std::to_string(report.cells) +
-                    " cells, " + std::to_string(report.fuzz_runs) +
+  std::string out = "cobra_chaos: process=" + config.process + ", " +
+                    std::to_string(report.cells) + " cells, " +
+                    std::to_string(report.fuzz_runs) +
                     " fuzz runs (+" + std::to_string(report.shrink_runs) +
                     " shrink runs), " + std::to_string(report.hard_checks) +
                     " hard-site checks, " +

@@ -38,6 +38,13 @@
 /// fires. It exists so the fuzzer's own detection and shrinking can be
 /// proven against a known-bad path (--inject-bug / the chaos tests): a
 /// violating schedule containing it must shrink to <= 2 entries.
+///
+/// Two processes can sit under the fuzz: the growing-frontier cobra walk
+/// (`process = "cobra"`) and the shrinking-frontier greedy MIS
+/// (`process = "mis"`), which routes every schedule through the engine's
+/// retain path as well as expand. The MIS fingerprint additionally chains
+/// the final collected set, so a run that walks the right trajectory but
+/// ends with the wrong MIS still diverges.
 
 namespace cobra::bench {
 
@@ -50,6 +57,9 @@ struct ChaosConfig {
   std::uint64_t rounds = 24;         ///< rounds per trajectory
   std::uint32_t branching = 2;       ///< cobra-walk k
   bool inject_bug = false;  ///< add chaos.degrade_bug to the fuzz catalog
+  /// Which process runs under the fuzz: "cobra" (growing frontier, expand
+  /// rounds) or "mis" (shrinking frontier, expand + retain rounds).
+  std::string process = "cobra";
   /// Scratch file for the checkpoint hard-site checks (created/overwritten).
   std::string scratch_path = "chaos_scratch.snap";
 };
@@ -93,6 +103,20 @@ struct ChaosReport {
                                              std::uint64_t rounds,
                                              std::uint32_t branching,
                                              bool inject_bug);
+
+/// The greedy-MIS twin of chaos_trajectory: one MIS run on `g` (capped at
+/// `rounds` rounds — extinction usually comes first), fingerprint chained
+/// over every round's active set AND the final collected MIS. Exercises
+/// the engine's retain path under faults; `branching` is unused (the MIS
+/// process has no k). The planted chaos.degrade_bug here sneaks in an
+/// extra, unhashed round when it fires, shifting every later fingerprint
+/// link — the removal-round analogue of silent corruption.
+[[nodiscard]] std::uint64_t chaos_mis_trajectory(const graph::Graph& g,
+                                                 std::size_t threads,
+                                                 std::uint64_t walk_seed,
+                                                 std::uint64_t rounds,
+                                                 std::uint32_t branching,
+                                                 bool inject_bug);
 
 /// Greedily shrink `plan` to a minimal sub-plan for which `reproduces`
 /// still returns true (single-entry removal to a fixpoint — each kept

@@ -337,6 +337,42 @@ void FrontierEngine::audit_list(std::span<const Vertex> next, bool dense) {
   }
 }
 
+void FrontierEngine::audit_retain(const Frontier& next, bool dense) {
+  if (!audit::sample_round(audit_seq_++)) return;
+  audit_graph_once();
+  const std::size_t n = g_->num_vertices();
+  std::string why;
+  if (dense) {
+    if (!audit::check_bitmap(next.bits_, next.count_, n, &why)) {
+      audit::report_violation("bitmap", why);
+    }
+  } else {
+    // Retain rounds filter an existing canonical frontier: no vertex is
+    // claimed, so the epoch/stamp record is deliberately untouched and the
+    // expand-path check_stamps would misfire here. Canonical order (which
+    // implies the subset property held) is the whole contract.
+    if (!audit::check_canonical_list(next.list_, n, &why)) {
+      audit::report_violation("canonical-order", why);
+    }
+  }
+}
+
+void FrontierEngine::audit_retain_list(std::span<const Vertex> next,
+                                       bool dense) {
+  if (!audit::sample_round(audit_seq_++)) return;
+  audit_graph_once();
+  const std::size_t n = g_->num_vertices();
+  std::string why;
+  if (!audit::check_canonical_list(next, n, &why)) {
+    audit::report_violation("canonical-order", why);
+  }
+  // Same stamp-check omission as audit_retain; when the round ran dense the
+  // materialized list still must agree with the scratch bitmap.
+  if (dense && !audit::check_bitmap(scratch_bits_, next.size(), n, &why)) {
+    audit::report_violation("bitmap", why);
+  }
+}
+
 void FrontierEngine::dedupe(std::span<const Vertex> in,
                             std::vector<Vertex>& out) {
   out.clear();

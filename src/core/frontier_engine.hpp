@@ -297,6 +297,24 @@ class FrontierEngine {
   void expand(std::span<const Vertex> frontier, std::vector<Vertex>& next,
               std::uint64_t round_seed, const Sampler& sampler);
 
+  /// Filter one round: `next` receives exactly the frontier vertices v with
+  /// keep(v) true, in the representation the round's mode picked. This is
+  /// the remove-from-frontier path that shrinking processes (greedy MIS,
+  /// LLL resampling) step — the dual of expand: no sampling, no dedup (a
+  /// subset of a canonical frontier is canonical), no RNG at all, so the
+  /// output is trivially a pure function of (frontier, keep) regardless of
+  /// thread count or representation. `keep` is shared across worker
+  /// threads — it must be const-callable on concurrent vertices.
+  template <typename Pred>
+  void retain(const Frontier& frontier, Frontier& next, const Pred& keep);
+
+  /// Span-in / vector-out retain for processes that maintain their own
+  /// lists. `frontier` must be sorted ascending and duplicate-free; `next`
+  /// receives the kept vertices ascending (cleared first).
+  template <typename Pred>
+  void retain(std::span<const Vertex> frontier, std::vector<Vertex>& next,
+              const Pred& keep);
+
   /// Serial dedup of `in` into `out` (reset paths): keeps the first
   /// occurrence of each vertex, preserving order. Shares the stamp array,
   /// so it composes with expand rounds.
@@ -442,6 +460,11 @@ class FrontierEngine {
   /// engine's private state (stamps, epoch, scratch bitmap).
   void audit_frontier(const Frontier& next, bool dense);
   void audit_list(std::span<const Vertex> next, bool dense);
+  /// Retain-round variants: removal rounds never claim vertices, so the
+  /// epoch/stamp record is untouched and the expand-path stamp check would
+  /// misfire on them — these check canonical order / bitmap health only.
+  void audit_retain(const Frontier& next, bool dense);
+  void audit_retain_list(std::span<const Vertex> next, bool dense);
   void audit_graph_once();
 
   /// Drive `sampler` over one chunk's active vertices with CSR row
@@ -509,6 +532,17 @@ class FrontierEngine {
   void expand_dense(const FrontierView& in, std::vector<std::uint64_t>& out_bits,
                     std::size_t& out_count, std::uint64_t round_seed,
                     const Sampler& sampler);
+
+  /// One sparse retain round into `out` (ascending by construction).
+  template <typename Pred>
+  void retain_sparse(const FrontierView& in, std::vector<Vertex>& out,
+                     const Pred& keep);
+
+  /// One dense retain round into `out_bits` / `out_count`.
+  template <typename Pred>
+  void retain_dense(const FrontierView& in,
+                    std::vector<std::uint64_t>& out_bits,
+                    std::size_t& out_count, const Pred& keep);
 
   const Graph* g_;
   FrontierOptions opts_;
@@ -688,6 +722,132 @@ void FrontierEngine::expand_dense(const FrontierView& in,
   }
 }
 
+template <typename Pred>
+void FrontierEngine::retain_sparse(const FrontierView& in,
+                                   std::vector<Vertex>& out,
+                                   const Pred& keep) {
+  const std::size_t span = chunk_span();
+  const std::size_t n_chunks =
+      (static_cast<std::size_t>(g_->num_vertices()) + span - 1) / span;
+  par::ThreadPool* pool = pick_pool(in.size());
+  last_rng_blocks_ = 0;
+
+  if (pool == nullptr || n_chunks <= 1) {
+    ++serial_rounds_;
+    last_parallel_ = false;
+    if (!in.dense()) {
+      // The input list is already ascending; a filtered copy stays so.
+      for (const Vertex v : in.list()) {
+        if (keep(v)) out.push_back(v);
+      }
+    } else {
+      const auto words = in.words();
+      for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t word = words[w];
+        while (word != 0) {
+          const auto v = static_cast<Vertex>(
+              (w << 6) + static_cast<std::size_t>(std::countr_zero(word)));
+          if (keep(v)) out.push_back(v);
+          word &= word - 1;
+        }
+      }
+    }
+  } else {
+    ++parallel_rounds_;
+    last_parallel_ = true;
+    const std::size_t workers = std::min(pool->size(), n_chunks);
+    ensure_workers(workers);
+    for (std::size_t w = 0; w < workers; ++w) worker_lists_[w].clear();
+    par::parallel_for_chunks(
+        *pool, n_chunks, workers, [&](std::size_t w, std::size_t c) {
+          const auto vs = chunk_vertices(in, span, c, worker_decode_[w]);
+          auto& kept = worker_lists_[w];
+          for (const Vertex v : vs) {
+            if (keep(v)) kept.push_back(v);
+          }
+        });
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < workers; ++w) total += worker_lists_[w].size();
+    out.reserve(out.size() + total);
+    for (std::size_t w = 0; w < workers; ++w) {
+      out.insert(out.end(), worker_lists_[w].begin(), worker_lists_[w].end());
+    }
+    // Chunks are claimed dynamically, so worker lists interleave chunk
+    // ranges; the sort restores the canonical ascending order. The kept
+    // SET is schedule-independent (keep draws no RNG), so the sorted
+    // result is bit-identical to the serial path.
+    std::sort(out.begin(), out.end());
+  }
+  // The work measure: keep() evaluated once per frontier vertex.
+  last_emitted_ = in.size();
+}
+
+template <typename Pred>
+void FrontierEngine::retain_dense(const FrontierView& in,
+                                  std::vector<std::uint64_t>& out_bits,
+                                  std::size_t& out_count, const Pred& keep) {
+  const std::size_t span = chunk_span();
+  const std::size_t n_chunks =
+      (static_cast<std::size_t>(g_->num_vertices()) + span - 1) / span;
+  par::ThreadPool* pool = pick_pool(in.size());
+  clear_words(out_bits, pool);  // may reallocate — take .data() after
+  last_rng_blocks_ = 0;
+  std::uint64_t* bits = out_bits.data();
+
+  if (pool == nullptr || n_chunks <= 1) {
+    ++serial_rounds_;
+    last_parallel_ = false;
+    std::size_t kept = 0;
+    const auto mark = [&](Vertex v) {
+      if (keep(v)) {
+        bits[v >> 6] |= 1ULL << (v & 63);
+        ++kept;
+      }
+    };
+    if (!in.dense()) {
+      for (const Vertex v : in.list()) mark(v);
+    } else {
+      const auto words = in.words();
+      for (std::size_t w = 0; w < words.size(); ++w) {
+        std::uint64_t word = words[w];
+        while (word != 0) {
+          mark(static_cast<Vertex>(
+              (w << 6) + static_cast<std::size_t>(std::countr_zero(word))));
+          word &= word - 1;
+        }
+      }
+    }
+    out_count = kept;
+  } else {
+    ++parallel_rounds_;
+    last_parallel_ = true;
+    const std::size_t workers = std::min(pool->size(), n_chunks);
+    ensure_workers(workers);
+    for (std::size_t w = 0; w < workers; ++w) worker_claimed_[w] = 0;
+    par::parallel_for_chunks(
+        *pool, n_chunks, workers, [&](std::size_t w, std::size_t c) {
+          const auto vs = chunk_vertices(in, span, c, worker_decode_[w]);
+          std::uint64_t kept = 0;
+          // Chunk ranges are word-aligned and a retain only sets bits of
+          // its own chunk's vertices, so workers own disjoint words —
+          // plain stores, no fetch_or.
+          for (const Vertex v : vs) {
+            if (keep(v)) {
+              bits[v >> 6] |= 1ULL << (v & 63);
+              ++kept;
+            }
+          }
+          worker_claimed_[w] += kept;
+        });
+    std::size_t kept = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      kept += static_cast<std::size_t>(worker_claimed_[w]);
+    }
+    out_count = kept;
+  }
+  last_emitted_ = in.size();
+}
+
 template <typename Sampler>
 void FrontierEngine::expand(const Frontier& frontier, Frontier& next,
                             std::uint64_t round_seed, const Sampler& sampler) {
@@ -755,6 +915,68 @@ void FrontierEngine::expand(std::span<const Vertex> frontier,
     expand_sparse(in, next, round_seed, sampler);
   }
   if (audit::enabled()) audit_list(next, dense);
+  if (traced) emit_trace(in, next.size(), dense, t0);
+}
+
+template <typename Pred>
+void FrontierEngine::retain(const Frontier& frontier, Frontier& next,
+                            const Pred& keep) {
+  assert(&frontier != &next);
+  next.clear();
+  last_emitted_ = 0;
+  if (frontier.empty()) return;
+
+  if (util::fault::enabled()) util::fault::tick_round();
+
+#if COBRA_OBS_LEVEL >= 1
+  static obs::Timer& retain_timer = obs::registry().timer("frontier.retain");
+  obs::ScopedTimer timed(retain_timer);
+#endif
+  const bool traced = obs::trace_enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (traced) t0 = std::chrono::steady_clock::now();
+
+  const FrontierView in(frontier);
+  bool dense = choose_dense(in.size(), next.bits_);
+  if (dense) {
+    retain_dense(in, next.bits_, next.count_, keep);
+    next.dense_ = true;
+    next.list_valid_ = false;
+  } else {
+    retain_sparse(in, next.list_, keep);
+    next.count_ = next.list_.size();
+  }
+  if (audit::enabled()) audit_retain(next, dense);
+  if (traced) emit_trace(in, next.count_, dense, t0);
+}
+
+template <typename Pred>
+void FrontierEngine::retain(std::span<const Vertex> frontier,
+                            std::vector<Vertex>& next, const Pred& keep) {
+  next.clear();
+  last_emitted_ = 0;
+  if (frontier.empty()) return;
+
+  if (util::fault::enabled()) util::fault::tick_round();
+
+#if COBRA_OBS_LEVEL >= 1
+  static obs::Timer& retain_timer = obs::registry().timer("frontier.retain");
+  obs::ScopedTimer timed(retain_timer);
+#endif
+  const bool traced = obs::trace_enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (traced) t0 = std::chrono::steady_clock::now();
+
+  const FrontierView in(frontier);  // asserts sortedness in debug builds
+  bool dense = choose_dense(in.size(), scratch_bits_);
+  if (dense) {
+    std::size_t count = 0;
+    retain_dense(in, scratch_bits_, count, keep);
+    materialize_bits(scratch_bits_, count, next);
+  } else {
+    retain_sparse(in, next, keep);
+  }
+  if (audit::enabled()) audit_retain_list(next, dense);
   if (traced) emit_trace(in, next.size(), dense, t0);
 }
 

@@ -13,6 +13,7 @@ PairWalk::PairWalk(const Graph& g, Vertex start_i, Vertex start_j, bool lazy)
   if (g.min_degree() == 0) {
     throw std::invalid_argument("PairWalk: graph has an isolated vertex");
   }
+  refresh_product();
 }
 
 void PairWalk::reset(Vertex start_i, Vertex start_j) {
@@ -23,6 +24,7 @@ void PairWalk::reset(Vertex start_i, Vertex start_j) {
   pos_j_ = start_j;
   round_ = 0;
   copies_ = 0;
+  refresh_product();
 }
 
 void PairWalk::step(Engine& gen) {
@@ -43,6 +45,7 @@ void PairWalk::step(Engine& gen) {
     pos_i_ = random_neighbor(*g_, pos_i_, gen);
     pos_j_ = random_neighbor(*g_, pos_j_, gen);
   }
+  refresh_product();
 }
 
 }  // namespace cobra::core

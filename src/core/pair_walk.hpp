@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 
 #include "core/types.hpp"
@@ -45,6 +46,19 @@ class PairWalk {
         static_cast<std::uint64_t>(pos_i_) * g_->num_vertices() + pos_j_);
   }
 
+  /// The walk as a single-pebble process on the PRODUCT space D(G x G) —
+  /// the sim::Process view (active set = the one product-space state).
+  [[nodiscard]] std::span<const Vertex> active() const noexcept {
+    return {&product_, 1};
+  }
+
+  /// Product-space size n^2 (the sim::Process contract). n must stay
+  /// <= 2^16 for the product id to fit a Vertex — every D(G x G)
+  /// comparison in the suite runs on tiny built-ins, far below that.
+  [[nodiscard]] std::uint32_t n() const noexcept {
+    return g_->num_vertices() * g_->num_vertices();
+  }
+
   [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
   [[nodiscard]] bool lazy() const noexcept { return lazy_; }
   [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
@@ -55,9 +69,12 @@ class PairWalk {
   [[nodiscard]] std::uint64_t copy_events() const noexcept { return copies_; }
 
  private:
+  void refresh_product() noexcept { product_ = product_id(); }
+
   const Graph* g_;
   Vertex pos_i_;
   Vertex pos_j_;
+  Vertex product_ = 0;  ///< cached product_id() — active()'s storage
   bool lazy_;
   std::uint64_t round_ = 0;
   std::uint64_t copies_ = 0;

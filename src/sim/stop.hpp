@@ -152,6 +152,51 @@ class FixedRounds {
   std::uint64_t start_round_ = 0;
 };
 
+/// Stop after `excursions` completed returns to `home`: an excursion ends
+/// at every round (>= 1) in which home is active — a process that holds
+/// still at home completes length-1 excursions, the E_v[T_v+] convention
+/// (the round-0 state never counts). Total rounds / completed() is the
+/// stationary-ratio return-time estimator of Theorem 15 / Corollary 17;
+/// the metropolis_return bench runs it through sim::Runner and the
+/// crosscheck suite pins it step-for-step against
+/// MetropolisWalk::measure_return_time's internal accounting.
+class ExcursionStop {
+ public:
+  ExcursionStop(core::Vertex home, std::uint64_t excursions)
+      : home_(home), target_(excursions) {}
+
+  template <Process P>
+  void start(const P&) {
+    completed_ = 0;
+  }
+
+  template <Process P>
+  void observe(const P& p) {
+    const auto active = p.active();
+    if (std::find(active.begin(), active.end(), home_) != active.end()) {
+      ++completed_;
+    }
+  }
+
+  template <Process P>
+  [[nodiscard]] bool done(const P&) const noexcept {
+    return completed_ >= target_;
+  }
+
+  [[nodiscard]] core::Vertex home() const noexcept { return home_; }
+  [[nodiscard]] std::uint64_t target() const noexcept { return target_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+  /// The tally is history (home may have left the active set since).
+  void save_state(util::CheckpointWriter& w) const { w.u64(completed_); }
+  void restore_state(util::CheckpointReader& r) { completed_ = r.u64(); }
+
+ private:
+  core::Vertex home_;
+  std::uint64_t target_;
+  std::uint64_t completed_ = 0;
+};
+
 /// Stop when the active set is empty — extinction, reachable only for
 /// processes that can lose their whole population (faulty branching
 /// schedules, coalescing walks never reach 0). O(1) per round via

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -104,6 +105,91 @@ TEST_F(ChaosTest, CleanFuzzReportsNoViolationsWithFullAccounting) {
   EXPECT_TRUE(util::fault::armed_sites().empty());  // registry left clean
   const std::string text = bench::render_chaos_report(report, config);
   EXPECT_NE(text.find("0 violations"), std::string::npos);
+}
+
+TEST_F(ChaosTest, MisFingerprintIsDeterministicAndThreadInvariant) {
+  const graph::Graph g = gen::build_graph("rreg:n=256,d=4,seed=7");
+  const std::uint64_t f1 = bench::chaos_mis_trajectory(g, 1, 99, 24, 2, false);
+  const std::uint64_t f1b = bench::chaos_mis_trajectory(g, 1, 99, 24, 2, false);
+  const std::uint64_t f8 = bench::chaos_mis_trajectory(g, 8, 99, 24, 2, false);
+  EXPECT_EQ(f1, f1b);
+  EXPECT_EQ(f1, f8) << "MIS trajectory depends on thread count";
+  EXPECT_NE(f1, bench::chaos_mis_trajectory(g, 1, 100, 24, 2, false));
+}
+
+TEST_F(ChaosTest, MisGracefulStormLeavesTheFingerprintUnchanged) {
+  const graph::Graph g = gen::build_graph("rreg:n=256,d=4,seed=7");
+  const std::uint64_t baseline =
+      bench::chaos_mis_trajectory(g, 2, 5, 24, 2, false);
+  FaultPlan plan;
+  for (const std::string& site : bench::chaos_graceful_sites(false)) {
+    plan.specs.push_back(FaultPlan::parse(site + "%0.5").specs[0]);
+  }
+  plan.seed = 13;
+  util::fault::arm_plan(plan);
+  const std::uint64_t stormy =
+      bench::chaos_mis_trajectory(g, 2, 5, 24, 2, false);
+  util::fault::disarm_all();
+  EXPECT_EQ(stormy, baseline)
+      << "a graceful degradation changed a retain-path trajectory";
+}
+
+TEST_F(ChaosTest, MisDegradeBugChangesTheFingerprint) {
+  const graph::Graph g = gen::build_graph("rreg:n=256,d=4,seed=7");
+  const std::uint64_t baseline =
+      bench::chaos_mis_trajectory(g, 1, 5, 24, 2, true);
+  util::fault::arm("chaos.degrade_bug", 1);
+  const std::uint64_t broken = bench::chaos_mis_trajectory(g, 1, 5, 24, 2, true);
+  util::fault::disarm_all();
+  EXPECT_NE(broken, baseline) << "the planted MIS bug fired silently";
+}
+
+TEST_F(ChaosTest, MisCleanFuzzReportsNoViolations) {
+  bench::ChaosConfig config;
+  config.process = "mis";
+  config.specs = {"rreg:n=128,d=4,seed=3"};
+  config.threads = {1, 2};
+  config.schedules = 8;
+  config.seed = 1;
+  config.rounds = 12;
+  config.scratch_path = ::testing::TempDir() + "chaos_mis_clean.snap";
+  const bench::ChaosReport report = bench::run_chaos(config);
+  EXPECT_EQ(report.cells, 2u);
+  EXPECT_EQ(report.fuzz_runs, 16u);
+  EXPECT_TRUE(report.violations.empty());
+  EXPECT_TRUE(util::fault::armed_sites().empty());
+  const std::string text = bench::render_chaos_report(report, config);
+  EXPECT_NE(text.find("process=mis"), std::string::npos);
+}
+
+TEST_F(ChaosTest, MisInjectedBugIsCaughtAndShrunk) {
+  bench::ChaosConfig config;
+  config.process = "mis";
+  config.specs = {"rreg:n=128,d=4,seed=3"};
+  config.threads = {1};
+  config.schedules = 16;
+  config.seed = 1;
+  config.rounds = 12;
+  config.inject_bug = true;
+  config.scratch_path = ::testing::TempDir() + "chaos_mis_bug.snap";
+  const bench::ChaosReport report = bench::run_chaos(config);
+  ASSERT_FALSE(report.violations.empty())
+      << "16 schedules over the bug catalog never tripped the MIS bug";
+  for (const bench::ChaosViolation& v : report.violations) {
+    EXPECT_LE(v.shrunk.specs.size(), 2u) << "reproducer not minimal";
+    EXPECT_TRUE(std::any_of(
+        v.shrunk.specs.begin(), v.shrunk.specs.end(),
+        [](const auto& s) { return s.site == "chaos.degrade_bug"; }))
+        << "shrunk plan lost the planted bug";
+  }
+}
+
+TEST_F(ChaosTest, UnknownProcessIsALoudConfigError) {
+  bench::ChaosConfig config;
+  config.specs = {"ring:n=16"};
+  config.threads = {1};
+  config.process = "walt";
+  EXPECT_THROW((void)bench::run_chaos(config), std::invalid_argument);
 }
 
 TEST_F(ChaosTest, InjectedBugIsCaughtAndShrunkToAMinimalReproducer) {

@@ -1,0 +1,142 @@
+/// Unit tests for the Moser–Tardos LLL resampler: termination with an
+/// all-satisfying assignment, the violated-frontier invariant against
+/// brute-force re-evaluation every round, witness/counter bookkeeping,
+/// reset reproducibility, and the no-op contract once satisfied.
+
+#include "core/lll_resampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/constraints.hpp"
+
+namespace cobra::core {
+namespace {
+
+void run_to_satisfied(LLLResampler& mt, Engine& gen) {
+  for (int guard = 0; guard < 200000 && !mt.satisfied(); ++guard) mt.step(gen);
+  ASSERT_TRUE(mt.satisfied());
+}
+
+/// Violated set recomputed from scratch — the invariant the incremental
+/// touched-clause rebuild must match after every round.
+std::vector<Vertex> brute_violated(const gen::ClauseSystem& sys,
+                                   std::span<const std::uint8_t> assignment) {
+  std::vector<Vertex> out;
+  for (std::uint32_t c = 0; c < sys.num_clauses(); ++c) {
+    if (!sys.satisfied(c, assignment)) out.push_back(c);
+  }
+  return out;
+}
+
+TEST(LLLResampler, TerminatesWithAnAllSatisfyingAssignment) {
+  for (const std::uint32_t n : {64u, 256u, 1024u}) {
+    const auto sys = gen::random_ksat(n, n + n / 2, 3, 0x11 + n);
+    const graph::Graph deps = gen::dependency_graph(sys);
+    LLLResampler mt(sys, deps, /*init_seed=*/5);
+    Engine gen(n);
+    run_to_satisfied(mt, gen);
+    EXPECT_EQ(sys.count_violated(mt.assignment()), 0u) << "n=" << n;
+    EXPECT_TRUE(mt.active().empty());
+  }
+}
+
+TEST(LLLResampler, ViolatedFrontierMatchesBruteForceEveryRound) {
+  const auto sys = gen::random_ksat(96, 144, 3, 21);
+  const graph::Graph deps = gen::dependency_graph(sys);
+  LLLResampler mt(sys, deps, /*init_seed=*/1);
+  Engine gen(77);
+  for (int r = 0; r < 64 && !mt.satisfied(); ++r) {
+    const auto expect = brute_violated(sys, mt.assignment());
+    const auto active = mt.active();
+    ASSERT_EQ(std::vector<Vertex>(active.begin(), active.end()), expect)
+        << "round " << r;
+    mt.step(gen);
+  }
+  // And at the end, whichever came first.
+  const auto expect = brute_violated(sys, mt.assignment());
+  const auto active = mt.active();
+  EXPECT_EQ(std::vector<Vertex>(active.begin(), active.end()), expect);
+}
+
+TEST(LLLResampler, WitnessRecordsEveryResampledClause) {
+  const auto sys = gen::random_ksat(128, 192, 3, 31);
+  const graph::Graph deps = gen::dependency_graph(sys);
+  LLLResampler mt(sys, deps, /*init_seed=*/2);
+  ASSERT_FALSE(mt.satisfied());  // a random init violates something
+  Engine gen(8);
+  std::uint64_t winners_sum = 0;
+  std::uint64_t redraws_expected = 0;
+  while (!mt.satisfied()) {
+    const auto before = mt.witness().size();
+    mt.step(gen);
+    winners_sum += mt.last_winners();
+    // Each winner resamples exactly its k variables (k = 3, all distinct).
+    redraws_expected += mt.last_winners() * 3;
+    ASSERT_EQ(mt.witness().size(), before + mt.last_winners());
+    ASSERT_LE(mt.round(), 200000u);
+  }
+  EXPECT_EQ(mt.witness().size(), winners_sum);
+  EXPECT_EQ(mt.var_resamples(), redraws_expected);
+  for (const Vertex c : mt.witness()) EXPECT_LT(c, sys.num_clauses());
+}
+
+TEST(LLLResampler, ResetReproducesTheRunExactly) {
+  const auto sys = gen::random_ksat(128, 192, 3, 41);
+  const graph::Graph deps = gen::dependency_graph(sys);
+  LLLResampler mt(sys, deps, /*init_seed=*/3);
+  Engine gen1(55);
+  run_to_satisfied(mt, gen1);
+  const std::vector<std::uint8_t> first(mt.assignment().begin(),
+                                        mt.assignment().end());
+  const std::vector<Vertex> witness(mt.witness().begin(), mt.witness().end());
+  const auto rounds = mt.round();
+
+  mt.reset(3);
+  EXPECT_EQ(mt.round(), 0u);
+  EXPECT_EQ(mt.witness().size(), 0u);
+  EXPECT_EQ(mt.var_resamples(), 0u);
+  Engine gen2(55);
+  run_to_satisfied(mt, gen2);
+  EXPECT_EQ(std::vector<std::uint8_t>(mt.assignment().begin(),
+                                      mt.assignment().end()),
+            first);
+  EXPECT_EQ(std::vector<Vertex>(mt.witness().begin(), mt.witness().end()),
+            witness);
+  EXPECT_EQ(mt.round(), rounds);
+
+  // A different init seed starts from a different assignment (128
+  // hash-drawn bits colliding with the finished run is astronomically
+  // unlikely).
+  mt.reset(4);
+  EXPECT_NE(std::vector<std::uint8_t>(mt.assignment().begin(),
+                                      mt.assignment().end()),
+            first);
+}
+
+TEST(LLLResampler, StepAfterSatisfiedIsAPureNoOp) {
+  const auto sys = gen::random_ksat(64, 96, 3, 51);
+  const graph::Graph deps = gen::dependency_graph(sys);
+  LLLResampler mt(sys, deps, /*init_seed=*/6);
+  Engine gen(12);
+  run_to_satisfied(mt, gen);
+  const auto state = gen.state();
+  const auto rounds = mt.round();
+  const auto witness_len = mt.witness().size();
+  for (int t = 0; t < 50; ++t) mt.step(gen);
+  EXPECT_EQ(gen.state(), state);
+  EXPECT_EQ(mt.round(), rounds);
+  EXPECT_EQ(mt.witness().size(), witness_len);
+}
+
+TEST(LLLResampler, RejectsMismatchedDependencyGraph) {
+  const auto sys = gen::random_ksat(32, 48, 3, 61);
+  const auto other = gen::random_ksat(32, 40, 3, 61);
+  const graph::Graph wrong = gen::dependency_graph(other);
+  EXPECT_THROW(LLLResampler(sys, wrong, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cobra::core

@@ -126,6 +126,25 @@ TEST(PairWalk, CopyEventsCounted) {
   EXPECT_EQ(walk.round(), 0u);
 }
 
+TEST(PairWalk, ProcessViewTracksTheProductState) {
+  // The sim::Process view: active() is the one product-space state, n() is
+  // the product-space size, and the cached id follows every transition
+  // (ctor, step, reset).
+  const Graph g = make_cycle(6);
+  Engine gen(8);
+  PairWalk walk(g, 2, 5, /*lazy=*/false);
+  EXPECT_EQ(walk.n(), 36u);
+  ASSERT_EQ(walk.active().size(), 1u);
+  EXPECT_EQ(walk.active()[0], walk.product_id());
+  EXPECT_EQ(walk.active()[0], 2u * 6u + 5u);
+  for (int t = 0; t < 200; ++t) {
+    walk.step(gen);
+    ASSERT_EQ(walk.active()[0], walk.product_id()) << "round " << t;
+  }
+  walk.reset(1, 4);
+  EXPECT_EQ(walk.active()[0], 1u * 6u + 4u);
+}
+
 TEST(PairWalk, InvalidConstruction) {
   const Graph g = make_cycle(5);
   EXPECT_THROW(PairWalk(g, 9, 0), std::out_of_range);

@@ -1,0 +1,154 @@
+/// Exact cross-checks for the greedy MIS process at n <= 10: a brute-force
+/// reference model replays the published round rule (hashed priorities,
+/// strict local minima win, winners + neighbors leave) with plain set
+/// arithmetic, and the engine-backed process must match it round for round
+/// over pinned seeds. The final set is additionally checked against the
+/// full enumeration of maximal independent sets.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/greedy_mis.hpp"
+#include "graph/generators.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace cobra {
+namespace {
+
+using core::Engine;
+using core::GreedyMIS;
+using graph::Graph;
+using graph::Vertex;
+
+/// One reference round on plain sets: the specification, free of engine,
+/// frontier representation, and threading concerns.
+void ref_step(const Graph& g, std::set<Vertex>& active, std::set<Vertex>& mis,
+              std::uint64_t round_seed) {
+  std::vector<Vertex> winners;
+  for (const Vertex v : active) {
+    const std::uint64_t pv = rng::derive_seed(round_seed, v);
+    bool minimal = true;
+    for (const Vertex u : g.neighbors(v)) {
+      if (u == v || !active.contains(u)) continue;
+      const std::uint64_t pu = rng::derive_seed(round_seed, u);
+      if (pu < pv || (pu == pv && u < v)) minimal = false;
+    }
+    if (minimal) winners.push_back(v);
+  }
+  for (const Vertex w : winners) {
+    mis.insert(w);
+    active.erase(w);
+    for (const Vertex u : g.neighbors(w)) active.erase(u);
+  }
+}
+
+/// Every maximal independent set of g, by subset enumeration (n <= 10).
+std::set<std::set<Vertex>> all_maximal_independent_sets(const Graph& g) {
+  const std::uint32_t n = g.num_vertices();
+  std::set<std::set<Vertex>> result;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    bool independent = true;
+    for (Vertex v = 0; v < n && independent; ++v) {
+      if (!(mask & (1u << v))) continue;
+      for (const Vertex u : g.neighbors(v)) {
+        if (u != v && (mask & (1u << u))) independent = false;
+      }
+    }
+    if (!independent) continue;
+    bool maximal = true;
+    for (Vertex v = 0; v < n && maximal; ++v) {
+      if (mask & (1u << v)) continue;
+      bool dominated = false;
+      for (const Vertex u : g.neighbors(v)) {
+        if (u != v && (mask & (1u << u))) dominated = true;
+      }
+      if (!dominated) maximal = false;
+    }
+    if (!maximal) continue;
+    std::set<Vertex> s;
+    for (Vertex v = 0; v < n; ++v) {
+      if (mask & (1u << v)) s.insert(v);
+    }
+    result.insert(s);
+  }
+  return result;
+}
+
+struct TinyCase {
+  std::string name;
+  std::function<Graph()> make_graph;
+};
+
+std::vector<TinyCase> tiny_graphs() {
+  return {
+      {"cycle5", [] { return graph::make_cycle(5); }},
+      {"cycle9", [] { return graph::make_cycle(9); }},
+      {"cycle10", [] { return graph::make_cycle(10); }},
+      {"path7", [] { return graph::make_path(7); }},
+      {"complete6", [] { return graph::make_complete(6); }},
+      {"star9", [] { return graph::make_star(9); }},
+      {"grid3x3", [] { return graph::make_grid(2, 3); }},
+      {"tree2x3", [] { return graph::make_kary_tree(2, 3); }},
+  };
+}
+
+class ExactMisCrosscheck : public ::testing::TestWithParam<TinyCase> {};
+
+TEST_P(ExactMisCrosscheck, TrajectoryMatchesReferenceModelOverPinnedSeeds) {
+  const Graph g = GetParam().make_graph();
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    GreedyMIS mis(g);
+    Engine gen(seed), twin(seed);
+    std::set<Vertex> ref_active;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) ref_active.insert(v);
+    std::set<Vertex> ref_mis;
+    int guard = 0;
+    while (!mis.done()) {
+      ASSERT_LT(guard++, 1000);
+      const std::uint64_t round_seed = twin();  // the one draw per round
+      mis.step(gen);
+      ref_step(g, ref_active, ref_mis, round_seed);
+      const auto active = mis.active();
+      ASSERT_EQ(std::set<Vertex>(active.begin(), active.end()), ref_active)
+          << "seed " << seed << " round " << mis.round();
+      const auto m = mis.mis();
+      ASSERT_EQ(std::set<Vertex>(m.begin(), m.end()), ref_mis)
+          << "seed " << seed << " round " << mis.round();
+    }
+    EXPECT_TRUE(ref_active.empty()) << "seed " << seed;
+  }
+}
+
+TEST_P(ExactMisCrosscheck, FinalSetIsAnEnumeratedMaximalIndependentSet) {
+  const Graph g = GetParam().make_graph();
+  const auto legal = all_maximal_independent_sets(g);
+  ASSERT_FALSE(legal.empty());
+  std::set<std::set<Vertex>> seen;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    GreedyMIS mis(g);
+    Engine gen(seed);
+    for (int guard = 0; guard < 1000 && !mis.done(); ++guard) mis.step(gen);
+    ASSERT_TRUE(mis.done());
+    const auto m = mis.mis();
+    const std::set<Vertex> result(m.begin(), m.end());
+    EXPECT_TRUE(legal.contains(result)) << "seed " << seed;
+    seen.insert(result);
+  }
+  // Unless the graph pins the answer (one legal MIS), the seeds must reach
+  // more than one of them — the randomness is live.
+  if (legal.size() > 1) EXPECT_GT(seen.size(), 1u) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyGraphs, ExactMisCrosscheck,
+                         ::testing::ValuesIn(tiny_graphs()),
+                         [](const ::testing::TestParamInfo<TinyCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace cobra

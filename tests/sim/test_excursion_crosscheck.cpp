@@ -1,0 +1,92 @@
+/// Pins sim::ExcursionStop + Runner against MetropolisWalk's internal
+/// return-time accounting, draw for draw: the same engine seed must give
+/// the SAME measured return time (and the same step count) through both
+/// paths, including the budget-exhausted and completed-early endings. This
+/// is what lets the metropolis_return bench run through the Runner without
+/// changing a single number.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/metropolis_walk.hpp"
+#include "gen/registry.hpp"
+#include "sim/runner.hpp"
+#include "sim/stop.hpp"
+
+namespace cobra {
+namespace {
+
+using core::Engine;
+using core::MetropolisWalk;
+
+double runner_return_time(const graph::Graph& g, core::Vertex target,
+                          Engine& gen, std::uint32_t excursions,
+                          std::uint64_t max_steps, std::uint64_t* steps_out) {
+  MetropolisWalk walk(g, target);
+  sim::ExcursionStop stop(target, excursions);
+  const auto run = sim::Runner(max_steps).run(walk, gen, stop);
+  if (steps_out != nullptr) *steps_out = run.rounds;
+  if (stop.completed() == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(run.rounds) /
+         static_cast<double>(stop.completed());
+}
+
+TEST(ExcursionCrosscheck, MatchesMeasureReturnTimePerSeed) {
+  const std::vector<std::string> specs = {
+      "ring:n=16", "complete:n=12", "hypercube:dims=4",
+      "rreg:n=24,d=4,seed=9"};
+  for (const auto& spec : specs) {
+    const graph::Graph g = gen::build_graph(spec);
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+      MetropolisWalk walk(g, 0);
+      Engine gen_a(seed), gen_b(seed);
+      const double direct =
+          walk.measure_return_time(gen_a, /*excursions=*/50,
+                                   /*max_steps=*/1 << 16);
+      std::uint64_t steps = 0;
+      const double via_runner =
+          runner_return_time(g, 0, gen_b, 50, 1 << 16, &steps);
+      ASSERT_EQ(direct, via_runner) << spec << " seed " << seed;
+      // Identical draw streams: both engines end in the same state.
+      ASSERT_EQ(gen_a.state(), gen_b.state()) << spec << " seed " << seed;
+    }
+  }
+}
+
+TEST(ExcursionCrosscheck, BudgetExhaustionAgreesToo) {
+  // A budget far too small for 10^6 excursions: both paths must report the
+  // same truncated ratio from the same partial tally.
+  const graph::Graph g = gen::build_graph("ring:n=32");
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    MetropolisWalk walk(g, 0);
+    Engine gen_a(seed), gen_b(seed);
+    const double direct =
+        walk.measure_return_time(gen_a, 1000000, /*max_steps=*/500);
+    std::uint64_t steps = 0;
+    const double via_runner = runner_return_time(g, 0, gen_b, 1000000, 500,
+                                                 &steps);
+    ASSERT_EQ(direct, via_runner) << "seed " << seed;
+    ASSERT_EQ(steps, 500u);
+  }
+}
+
+TEST(ExcursionCrosscheck, HoldingStillAtHomeCompletesLengthOneExcursions) {
+  // The E_v[T_v+] convention: a rejected Metropolis move at home still ends
+  // an excursion. On the complete graph the target accepts everything, so
+  // every step is one excursion of length 1 and the ratio is pinned.
+  const graph::Graph g = gen::build_graph("ring:n=8");
+  MetropolisWalk walk(g, 3);
+  sim::ExcursionStop stop(3, 10);
+  Engine gen(4);
+  const auto run = sim::Runner(std::uint64_t{1} << 20).run(walk, gen, stop);
+  EXPECT_EQ(stop.completed(), 10u);
+  EXPECT_GE(run.rounds, 10u);
+  EXPECT_EQ(stop.home(), 3u);
+  EXPECT_EQ(stop.target(), 10u);
+}
+
+}  // namespace
+}  // namespace cobra

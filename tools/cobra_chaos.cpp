@@ -6,11 +6,14 @@
 /// --fault-plan replay format.
 ///
 /// Usage:
-///   cobra_chaos [--graph SPECS] [--threads LIST] [--schedules N]
-///               [--seed S] [--rounds R] [--branching K]
+///   cobra_chaos [--process NAME] [--graph SPECS] [--threads LIST]
+///               [--schedules N] [--seed S] [--rounds R] [--branching K]
 ///               [--trace FILE] [--out FILE]
 ///               [--inject-bug] [--expect-violation]
 ///
+///   --process    which process runs under the fuzz: "cobra" (growing
+///                frontier, expand rounds; default) or "mis" (greedy MIS —
+///                shrinking frontier, expand + retain rounds)
 ///   --graph      spec list (cobra_sweep split rules); default two small
 ///                expanders
 ///   --threads    thread-count list, default "1,2"
@@ -19,7 +22,7 @@
 ///   --seed       master seed — every schedule and walk seed derives from
 ///                it, so a run is reproducible bit-for-bit (default 1)
 ///   --rounds     rounds per trajectory (default 24)
-///   --branching  cobra-walk k (default 2)
+///   --branching  cobra-walk k (default 2; unused by --process mis)
 ///   --trace      arm the obs trace sink: fault firings land as
 ///                {"fault": ...} JSONL lines — the chaos run's event-log
 ///                artifact
@@ -44,6 +47,7 @@
 #include <string>
 
 #include "chaos.hpp"
+#include "core/audit.hpp"
 #include "io/args.hpp"
 #include "obs/trace.hpp"
 #include "sweep.hpp"
@@ -53,20 +57,26 @@ int main(int argc, char** argv) {
   io::Args args(0, nullptr, {});
   try {
     args = io::Args(argc, argv,
-                    {"graph", "threads", "schedules", "seed", "rounds",
-                     "branching", "trace", "out", "scratch", "inject-bug",
-                     "expect-violation"});
+                    {"process", "graph", "threads", "schedules", "seed",
+                     "rounds", "branching", "trace", "out", "scratch",
+                     "inject-bug", "expect-violation"});
   } catch (const std::invalid_argument& e) {
     std::cerr << "cobra_chaos: " << e.what()
-              << "\nusage: cobra_chaos [--graph SPECS] [--threads LIST]"
-                 " [--schedules N] [--seed S] [--rounds R] [--branching K]"
-                 " [--trace FILE] [--out FILE] [--inject-bug]"
+              << "\nusage: cobra_chaos [--process cobra|mis] [--graph SPECS]"
+                 " [--threads LIST] [--schedules N] [--seed S] [--rounds R]"
+                 " [--branching K] [--trace FILE] [--out FILE] [--inject-bug]"
                  " [--expect-violation]\n";
     return 2;
   }
 
+  // COBRA_AUDIT=0|1|2 arms the engine's invariant auditor for every
+  // trajectory the fuzz runs — the chaos-under-audit ctest lane relies on
+  // this (expand AND retain rounds are checked at level 2).
+  core::audit::arm_from_env();
+
   bench::ChaosConfig config;
   try {
+    config.process = args.get("process", config.process);
     config.specs = bench::split_spec_list(
         args.get("graph", "rreg:n=256,d=4,seed=7;ring:n=128"));
     config.threads = bench::split_uint_list(args.get("threads", "1,2"));
