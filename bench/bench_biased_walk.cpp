@@ -148,7 +148,7 @@ void lemma14_table(bench::Harness& h, std::uint32_t trials) {
     const auto cobra =
         bench::measure(trials, 0xE8300 ^ std::hash<std::string>{}(c.spec),
                        [&](core::Engine& gen) {
-                         return sim::hit_rounds<core::CobraWalk>(gen, v, g, u, 2);
+                         return sim::hit_rounds<core::CobraWalk>(gen, v, g, u, 2u);
                        });
     const auto biased =
         bench::measure(trials, 0xE8400 ^ std::hash<std::string>{}(c.spec),

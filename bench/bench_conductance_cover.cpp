@@ -36,7 +36,7 @@ void add_row(bench::Harness& h, io::Table& table, const std::string& family,
   const double phi = est.point();
   const auto cover = bench::measure(
       trials, seed ^ std::hash<std::string>{}(c.spec), [&](core::Engine& gen) {
-        return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
+        return sim::cover_rounds<core::CobraWalk>(gen, g, 0u, 2u);
       });
   const double ln_n = std::log(static_cast<double>(g.num_vertices()));
   const double bound_shape = (1.0 / (phi * phi)) * ln_n * ln_n;

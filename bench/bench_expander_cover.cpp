@@ -33,7 +33,7 @@ void add_row(bench::Harness& h, io::Table& table, const std::string& family,
   const graph::Graph& g = c.graph;
   const double gap = graph::lazy_walk_spectrum(g).spectral_gap;
   const auto cover = bench::measure(trials, seed, [&](core::Engine& gen) {
-    return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
+    return sim::cover_rounds<core::CobraWalk>(gen, g, 0u, 2u);
   });
   const double ln_n = std::log(static_cast<double>(g.num_vertices()));
   table.add_row({io::Table::fmt_int(g.num_vertices()), io::Table::fmt(gap, 4),

@@ -75,10 +75,10 @@ int main(int argc, char** argv) {
     const graph::Graph g = gen::build_graph(spec);
     const std::uint64_t h = std::hash<std::string>{}(name);
     const auto cobra = bench::measure(trials, 0xEA100 ^ h, [&](core::Engine& gen) {
-      return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
+      return sim::cover_rounds<core::CobraWalk>(gen, g, 0u, 2u);
     });
     const auto push = bench::measure(trials, 0xEA200 ^ h, [&](core::Engine& gen) {
-      return sim::cover_rounds<core::Gossip>(gen, g, 0, core::GossipMode::Push);
+      return sim::cover_rounds<core::Gossip>(gen, g, 0u, core::GossipMode::Push);
     });
     const auto pushpull =
         bench::measure(trials, 0xEA300 ^ h, [&](core::Engine& gen) {

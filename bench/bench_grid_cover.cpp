@@ -28,11 +28,20 @@ using namespace cobra;
 /// Cover rounds of a fresh process through the shared sim::Runner (the
 /// bespoke per-process cover loops this bench used to call).
 double cobra_cover_rounds(const graph::Graph& g, core::Engine& gen) {
-  return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
+  return sim::cover_rounds<core::CobraWalk>(gen, g, 0u, 2u);
 }
 
 double rw_cover_rounds(const graph::Graph& g, core::Engine& gen) {
-  return sim::cover_rounds<core::RandomWalk>(gen, g, 0);
+  return sim::cover_rounds<core::RandomWalk>(gen, g, 0u);
+}
+
+/// "d<dims><suffix>" built by append — the operator+ chain form trips
+/// GCC 12's -Wrestrict false positive (PR 105329) when inlined.
+std::string dim_record(std::uint32_t d, const std::string& suffix) {
+  std::string name = "d";
+  name += std::to_string(d);
+  name += suffix;
+  return name;
 }
 
 void sweep_dimension(bench::Harness& h, std::uint32_t d,
@@ -75,7 +84,7 @@ void sweep_dimension(bench::Harness& h, std::uint32_t d,
              : "-"});
     auto& rec =
         h.json()
-            .record("d" + std::to_string(d) + "/side" + std::to_string(side))
+            .record(dim_record(d, "/side" + std::to_string(side)))
             .field("spec", c.spec)
             .field("dims", static_cast<double>(d))
             .field("side", static_cast<double>(side))
@@ -90,7 +99,7 @@ void sweep_dimension(bench::Harness& h, std::uint32_t d,
   const auto cobra_fit = stats::fit_power_law(ns, cobra_means);
   bench::print_fit("  cobra", cobra_fit, "Theorem 3 predicts exponent 1");
   h.json()
-      .record("d" + std::to_string(d) + "/fit")
+      .record(dim_record(d, "/fit"))
       .field("dims", static_cast<double>(d))
       .field("cobra_exponent", cobra_fit.exponent)
       .field("cobra_exponent_stderr", cobra_fit.exponent_stderr);

@@ -58,7 +58,7 @@ void lemma4_table(bench::Harness& h, int step_trials) {
     }
     const double p_change = static_cast<double>(changes) / step_trials;
     const double p_dec =
-        changes > 0 ? static_cast<double>(decreases) / changes : 0.0;
+        changes > 0 ? static_cast<double>(decreases) / static_cast<double>(changes) : 0.0;
     const double p_zero_inc =
         static_cast<double>(zero_increases) / step_trials;
     table.add_row({io::Table::fmt_int(d), io::Table::fmt(p_change, 4),

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
     const auto cover = bench::measure(
         trials, 0xE6200 ^ std::hash<std::string>{}(c.spec),
         [&](core::Engine& e) {
-          return sim::cover_rounds<core::CobraWalk>(e, g, 0, 2);
+          return sim::cover_rounds<core::CobraWalk>(e, g, 0u, 2u);
         });
     const double ln_n = std::log(static_cast<double>(g.num_vertices()));
     const double matthews_c = cover.mean / (hmax.hmax * ln_n);

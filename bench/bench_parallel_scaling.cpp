@@ -103,14 +103,14 @@ int main(int argc, char** argv) {
         {io::Table::fmt_int(static_cast<long long>(threads)),
          io::Table::fmt(dyn, 3),
          io::Table::fmt(serial_dynamic / dyn, 2) + "x",
-         io::Table::fmt(serial_dynamic / dyn / threads * 100.0, 0) + "%",
+         io::Table::fmt(serial_dynamic / dyn / static_cast<double>(threads) * 100.0, 0) + "%",
          io::Table::fmt(sta, 3),
          io::Table::fmt(serial_dynamic / sta, 2) + "x"});
     json.record("threads" + std::to_string(threads))
         .field("threads", static_cast<double>(threads))
         .field("dynamic_seconds", dyn)
         .field("dynamic_speedup", serial_dynamic / dyn)
-        .field("dynamic_efficiency", serial_dynamic / dyn / threads)
+        .field("dynamic_efficiency", serial_dynamic / dyn / static_cast<double>(threads))
         .field("static_seconds", sta)
         .field("static_speedup", serial_dynamic / sta);
   }

@@ -30,7 +30,7 @@ using namespace cobra;
 /// First-hit rounds of a fresh process through the shared sim::Runner.
 double cobra_hit_rounds(const graph::Graph& g, graph::Vertex from,
                         graph::Vertex to, core::Engine& gen) {
-  return sim::hit_rounds<core::CobraWalk>(gen, to, g, from, 2);
+  return sim::hit_rounds<core::CobraWalk>(gen, to, g, from, 2u);
 }
 
 double rw_hit_rounds(const graph::Graph& g, graph::Vertex from,

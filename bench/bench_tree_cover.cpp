@@ -28,7 +28,7 @@ using namespace cobra;
 
 /// Cover rounds of a fresh 2-cobra walk through the shared sim::Runner.
 double cobra_cover_rounds(const graph::Graph& g, core::Engine& gen) {
-  return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
+  return sim::cover_rounds<core::CobraWalk>(gen, g, 0u, 2u);
 }
 
 void sweep_arity(bench::Harness& h, std::uint32_t arity,

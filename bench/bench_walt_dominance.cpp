@@ -29,15 +29,15 @@ void compare_on(bench::Harness& h, const bench::BuiltCase& c,
   const graph::Graph& g = c.graph;
   const std::uint32_t pebbles = std::max(2u, g.num_vertices() / 2);
   const auto cobra = bench::measure(trials, seed, [&](core::Engine& gen) {
-    return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
+    return sim::cover_rounds<core::CobraWalk>(gen, g, 0u, 2u);
   });
   const auto walt_lazy =
       bench::measure(trials, seed + 1, [&](core::Engine& gen) {
-        return sim::cover_rounds<core::Walt>(gen, g, 0, pebbles, true);
+        return sim::cover_rounds<core::Walt>(gen, g, 0u, pebbles, true);
       });
   const auto walt_eager =
       bench::measure(trials, seed + 2, [&](core::Engine& gen) {
-        return sim::cover_rounds<core::Walt>(gen, g, 0, pebbles, false);
+        return sim::cover_rounds<core::Walt>(gen, g, 0u, pebbles, false);
       });
 
   io::Table table({"process", "mean", "median", "q75", "max"});

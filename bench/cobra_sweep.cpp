@@ -384,7 +384,7 @@ int main(int argc, char** argv) {
             it != resumed.end()) {
           std::cout << "cobra_sweep:   already completed in the --resume "
                        "file; reusing its result\n";
-          runs.push_back({name, spec, threads, it->second});
+          runs.push_back({name, spec, threads, it->second, {}});
           ++reused;
           continue;
         }

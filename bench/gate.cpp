@@ -221,7 +221,10 @@ void collect_records(const Value& records, const std::string& prefix,
     GateRecord flat;
     flat.name = prefix + name->string;
     const std::size_t dup = seen[flat.name]++;
-    if (dup != 0) flat.name += "#" + std::to_string(dup + 1);
+    if (dup != 0) {
+      flat.name += '#';
+      flat.name += std::to_string(dup + 1);
+    }
     for (const auto& [key, field] : rec.object) {
       if (key == "name") continue;
       if (field.kind == Value::Kind::Number) {

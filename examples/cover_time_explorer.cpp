@@ -113,23 +113,23 @@ graph::Graph build_family(const std::string& family, std::uint32_t n,
 double run_process(const std::string& process, const graph::Graph& g,
                    std::uint32_t k, core::Engine& gen) {
   if (process == "cobra") {
-    return sim::cover_rounds<core::CobraWalk>(gen, g, 0, k);
+    return sim::cover_rounds<core::CobraWalk>(gen, g, 0u, k);
   }
   if (process == "rw") {
-    return sim::cover_rounds<core::RandomWalk>(gen, g, 0);
+    return sim::cover_rounds<core::RandomWalk>(gen, g, 0u);
   }
   if (process == "gossip") {
-    return sim::cover_rounds<core::Gossip>(gen, g, 0, core::GossipMode::Push);
+    return sim::cover_rounds<core::Gossip>(gen, g, 0u, core::GossipMode::Push);
   }
   if (process == "pushpull") {
     core::Gossip gossip(g, 0, core::GossipMode::PushPull);
     return static_cast<double>(sim::run_cover(gossip, gen, 1u << 26).rounds);
   }
   if (process == "parallel") {
-    return sim::cover_rounds<core::ParallelWalks>(gen, g, 0, k);
+    return sim::cover_rounds<core::ParallelWalks>(gen, g, 0u, k);
   }
   if (process == "walt") {
-    return sim::cover_rounds<core::Walt>(gen, g, 0,
+    return sim::cover_rounds<core::Walt>(gen, g, 0u,
                                          std::max(1u, g.num_vertices() / 2),
                                          true);
   }

@@ -62,11 +62,11 @@ int main(int argc, char** argv) {
   const std::vector<Protocol> protocols = {
       {"2-cobra walk",
        [](const graph::Graph& g, core::Engine& gen) {
-         return sim::cover_rounds<core::CobraWalk>(gen, g, 0, 2);
+         return sim::cover_rounds<core::CobraWalk>(gen, g, 0u, 2u);
        }},
       {"push gossip",
        [](const graph::Graph& g, core::Engine& gen) {
-         return sim::cover_rounds<core::Gossip>(gen, g, 0,
+         return sim::cover_rounds<core::Gossip>(gen, g, 0u,
                                                 core::GossipMode::Push);
        }},
       {"push-pull gossip",
@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
        }},
       {"8 parallel walks",
        [](const graph::Graph& g, core::Engine& gen) {
-         return sim::cover_rounds<core::ParallelWalks>(gen, g, 0, 8);
+         return sim::cover_rounds<core::ParallelWalks>(gen, g, 0u, 8u);
        }},
   };
 

@@ -270,8 +270,7 @@ void FrontierEngine::occupancy_stats(const FrontierView& in, std::size_t span,
 }
 
 void FrontierEngine::emit_trace(const FrontierView& in, std::size_t produced,
-                                bool dense,
-                                std::chrono::steady_clock::time_point t0) {
+                                bool dense, const obs::Stopwatch& watch) {
   if (trace_id_ == 0) trace_id_ = obs::next_trace_id();
   obs::RoundTrace t;
   t.trace_id = trace_id_;
@@ -286,9 +285,7 @@ void FrontierEngine::emit_trace(const FrontierView& in, std::size_t produced,
                                     static_cast<double>(t.chunks)
                               : 0.0;
   t.rng_blocks = last_rng_blocks_;
-  t.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            t0)
-                  .count();
+  t.seconds = watch.seconds();
   obs::trace_round(t);
 }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
-#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -249,7 +248,7 @@ class NeighborSampler {
     if (g.num_vertices() == 0 || !g.is_regular()) return;
     const std::uint32_t degree = g.degree(0);
     if (degree >= 2 && std::has_single_bit(degree)) {
-      shift_ = 64 - std::bit_width(degree) + 1;  // 64 - log2(degree)
+      shift_ = static_cast<int>(64 - std::bit_width(degree) + 1);  // 64 - log2(degree)
     }
   }
 
@@ -452,7 +451,7 @@ class FrontierEngine {
   /// Append the finished round to the global trace sink (call sites gate
   /// on obs::trace_enabled() so untraced rounds pay one relaxed load).
   void emit_trace(const FrontierView& in, std::size_t produced, bool dense,
-                  std::chrono::steady_clock::time_point t0);
+                  const obs::Stopwatch& watch);
 
   /// Invariant audits of a finished round's output (call sites gate on
   /// audit::enabled(), the one relaxed load). Sampling policy and the
@@ -868,8 +867,8 @@ void FrontierEngine::expand(const Frontier& frontier, Frontier& next,
   // scan, clock reads) stays behind it. Telemetry reads state only — the
   // produced frontier is bit-identical traced or not.
   const bool traced = obs::trace_enabled();
-  std::chrono::steady_clock::time_point t0;
-  if (traced) t0 = std::chrono::steady_clock::now();
+  obs::Stopwatch watch;
+  if (traced) watch.start();
 
   const FrontierView in(frontier);
   bool dense = choose_dense(in.size(), next.bits_);
@@ -884,7 +883,7 @@ void FrontierEngine::expand(const Frontier& frontier, Frontier& next,
   // One relaxed load when unarmed, mirroring fault/trace; the sampled
   // checks read the produced frontier only, never mutate it.
   if (audit::enabled()) audit_frontier(next, dense);
-  if (traced) emit_trace(in, next.count_, dense, t0);
+  if (traced) emit_trace(in, next.count_, dense, watch);
 }
 
 template <typename Sampler>
@@ -902,8 +901,8 @@ void FrontierEngine::expand(std::span<const Vertex> frontier,
   obs::ScopedTimer timed(step_timer);
 #endif
   const bool traced = obs::trace_enabled();
-  std::chrono::steady_clock::time_point t0;
-  if (traced) t0 = std::chrono::steady_clock::now();
+  obs::Stopwatch watch;
+  if (traced) watch.start();
 
   const FrontierView in(frontier);  // asserts sortedness in debug builds
   bool dense = choose_dense(in.size(), scratch_bits_);
@@ -915,7 +914,7 @@ void FrontierEngine::expand(std::span<const Vertex> frontier,
     expand_sparse(in, next, round_seed, sampler);
   }
   if (audit::enabled()) audit_list(next, dense);
-  if (traced) emit_trace(in, next.size(), dense, t0);
+  if (traced) emit_trace(in, next.size(), dense, watch);
 }
 
 template <typename Pred>
@@ -933,8 +932,8 @@ void FrontierEngine::retain(const Frontier& frontier, Frontier& next,
   obs::ScopedTimer timed(retain_timer);
 #endif
   const bool traced = obs::trace_enabled();
-  std::chrono::steady_clock::time_point t0;
-  if (traced) t0 = std::chrono::steady_clock::now();
+  obs::Stopwatch watch;
+  if (traced) watch.start();
 
   const FrontierView in(frontier);
   bool dense = choose_dense(in.size(), next.bits_);
@@ -947,7 +946,7 @@ void FrontierEngine::retain(const Frontier& frontier, Frontier& next,
     next.count_ = next.list_.size();
   }
   if (audit::enabled()) audit_retain(next, dense);
-  if (traced) emit_trace(in, next.count_, dense, t0);
+  if (traced) emit_trace(in, next.count_, dense, watch);
 }
 
 template <typename Pred>
@@ -964,8 +963,8 @@ void FrontierEngine::retain(std::span<const Vertex> frontier,
   obs::ScopedTimer timed(retain_timer);
 #endif
   const bool traced = obs::trace_enabled();
-  std::chrono::steady_clock::time_point t0;
-  if (traced) t0 = std::chrono::steady_clock::now();
+  obs::Stopwatch watch;
+  if (traced) watch.start();
 
   const FrontierView in(frontier);  // asserts sortedness in debug builds
   bool dense = choose_dense(in.size(), scratch_bits_);
@@ -977,7 +976,7 @@ void FrontierEngine::retain(std::span<const Vertex> frontier,
     retain_sparse(in, next, keep);
   }
   if (audit::enabled()) audit_retain_list(next, dense);
-  if (traced) emit_trace(in, next.size(), dense, t0);
+  if (traced) emit_trace(in, next.size(), dense, watch);
 }
 
 }  // namespace cobra::core

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
 
 namespace cobra::graph {
@@ -57,6 +57,8 @@ bool Graph::is_regular() const noexcept {
 
 bool Graph::is_simple() const {
   for (Vertex v = 0; v < n_; ++v) {
+    // cobra-lint: allow(D2-unordered) membership probe only — never
+    // iterated, and the boolean result is insertion-order invariant.
     std::unordered_set<Vertex> seen;
     for (const Vertex u : neighbors(v)) {
       if (u == v) return false;                  // self-loop
@@ -96,9 +98,10 @@ bool Graph::validate(std::string* error) const {
   // u < v and -1 for each (v, u); every key must net to zero. Self-loop
   // arcs (u, u) tally separately — a loop is stored as TWO arcs (it
   // contributes 2 to its endpoint's degree), so each vertex's loop-arc
-  // count must be even.
-  std::unordered_map<std::uint64_t, std::int64_t> balance;
-  balance.reserve(targets_.size());
+  // count must be even. An ordered map so the FIRST defect reported is
+  // the smallest (u, v) on every run/host — a hash map here made the
+  // validate() diagnostic text iteration-order dependent.
+  std::map<std::uint64_t, std::int64_t> balance;
   for (Vertex u = 0; u < n_; ++u) {
     for (const Vertex v : neighbors(u)) {
       if (u == v) {

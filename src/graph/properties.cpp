@@ -33,7 +33,7 @@ std::uint64_t triangles_through(const Graph& g, Vertex v) {
 double local_clustering(const Graph& g, Vertex v) {
   const std::uint64_t d = g.degree(v);
   if (d < 2) return 0.0;
-  const double possible = static_cast<double>(d) * (d - 1) / 2.0;
+  const double possible = static_cast<double>(d) * static_cast<double>(d - 1) / 2.0;
   return static_cast<double>(triangles_through(g, v)) / possible;
 }
 

@@ -1,0 +1,186 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace cobra::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Scanner state that survives newlines.
+enum class Mode {
+  kCode,
+  kLineComment,
+  kBlockComment,
+  kString,
+  kChar,
+  kRawString,
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& text) {
+  LexedFile out;
+  out.code.emplace_back();
+  out.comment.emplace_back();
+
+  Mode mode = Mode::kCode;
+  // Raw-string closer: ")delim\"" captured at the R"delim( opener.
+  std::string raw_closer;
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto code_line = [&]() -> std::string& { return out.code.back(); };
+  auto comment_line = [&]() -> std::string& { return out.comment.back(); };
+  auto newline = [&]() {
+    out.code.emplace_back();
+    out.comment.emplace_back();
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      // A `//` comment ends at the newline unless the previous character
+      // continues the line; block comments, raw strings (and, formally,
+      // ordinary literals — unterminated ones) continue.
+      if (mode == Mode::kLineComment) {
+        const bool continued = i > 0 && text[i - 1] == '\\';
+        if (!continued) mode = Mode::kCode;
+      } else if (mode == Mode::kString || mode == Mode::kChar) {
+        // Unterminated literal: the compiler rejects this anyway; recover
+        // at the newline so one bad line cannot blank the rest of the
+        // file.
+        mode = Mode::kCode;
+      }
+      newline();
+      ++i;
+      continue;
+    }
+
+    switch (mode) {
+      case Mode::kCode: {
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          code_line() += "  ";
+          i += 2;
+          mode = Mode::kLineComment;
+          continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          code_line() += "  ";
+          i += 2;
+          mode = Mode::kBlockComment;
+          continue;
+        }
+        // R"delim( opener — only when the R is not the tail of a longer
+        // identifier (LR"..." etc. are encoding prefixes; treat any
+        // identifier character before R as part of the prefix and accept).
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+          std::size_t d = i + 2;
+          std::string delim;
+          while (d < n && text[d] != '(' && text[d] != '\n' &&
+                 delim.size() <= 16) {
+            delim += text[d];
+            ++d;
+          }
+          if (d < n && text[d] == '(') {
+            raw_closer = ")" + delim + "\"";
+            code_line() += "R\"";
+            code_line().append(delim.size() + 1, ' ');
+            i = d + 1;
+            mode = Mode::kRawString;
+            continue;
+          }
+        }
+        if (c == '"') {
+          code_line() += '"';
+          ++i;
+          mode = Mode::kString;
+          continue;
+        }
+        // A ' is a char literal only when it does not follow an
+        // identifier character (C++14 digit separators: 1'000'000).
+        if (c == '\'' &&
+            (code_line().empty() || !ident_char(code_line().back()))) {
+          code_line() += '\'';
+          ++i;
+          mode = Mode::kChar;
+          continue;
+        }
+        code_line() += c;
+        ++i;
+        break;
+      }
+      case Mode::kLineComment:
+        comment_line() += c;
+        code_line() += ' ';
+        ++i;
+        break;
+      case Mode::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          code_line() += "  ";
+          i += 2;
+          mode = Mode::kCode;
+          continue;
+        }
+        comment_line() += c;
+        code_line() += ' ';
+        ++i;
+        break;
+      case Mode::kString:
+      case Mode::kChar: {
+        const char close = mode == Mode::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < n) {
+          code_line() += "  ";
+          i += 2;
+          continue;
+        }
+        if (c == close) {
+          code_line() += close;
+          ++i;
+          mode = Mode::kCode;
+          continue;
+        }
+        code_line() += ' ';
+        ++i;
+        break;
+      }
+      case Mode::kRawString: {
+        if (c == ')' && text.compare(i, raw_closer.size(), raw_closer) == 0) {
+          code_line().append(raw_closer.size() - 1, ' ');
+          code_line() += '"';
+          i += raw_closer.size();
+          mode = Mode::kCode;
+          continue;
+        }
+        code_line() += ' ';
+        ++i;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool is_word_at(const std::string& code, std::size_t pos,
+                const std::string& word) {
+  if (pos + word.size() > code.size()) return false;
+  if (code.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(code[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  if (end < code.size() && ident_char(code[end])) return false;
+  return true;
+}
+
+std::size_t find_word(const std::string& code, const std::string& word,
+                      std::size_t from) {
+  for (std::size_t pos = code.find(word, from); pos != std::string::npos;
+       pos = code.find(word, pos + 1)) {
+    if (is_word_at(code, pos, word)) return pos;
+  }
+  return std::string::npos;
+}
+
+}  // namespace cobra::lint

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file lexer.hpp
+/// The cobra_lint scanner: a comment/string/raw-string aware pass over a
+/// C++ translation unit that separates CODE from NON-CODE so every rule in
+/// rules.hpp can match identifiers without tripping over `"std::rand"`
+/// inside a string literal or a `// don't use time()` remark. This is the
+/// property that makes the linter trustworthy enough to gate CI — a naive
+/// grep would drown the real findings in quoted/commented mentions (the
+/// repo's own documentation discusses the banned constructs constantly).
+///
+/// The scanner does NOT build a parse tree; it produces a line-aligned
+/// "code view" in which the bodies of comments, string literals, char
+/// literals, and raw strings are blanked with spaces (delimiters kept), so
+///   * byte columns in the code view match the original file, and
+///   * identifier/word matching on the code view can never fire inside
+///     text the compiler treats as data.
+/// Comment TEXT is preserved separately per line, because that is where
+/// the `cobra-lint: allow(...)` suppression annotations live.
+///
+/// Handled forms: `//` line comments (with line-continuation `\`),
+/// `/* ... */` block comments spanning lines, "..." and '...' literals
+/// with escape sequences, and R"delim( ... )delim" raw strings spanning
+/// lines. Preprocessor directives are ordinary code to the scanner
+/// (rules.hpp reads `#include` paths straight from the code view).
+
+namespace cobra::lint {
+
+/// One file after scanning: `code[i]` and `comment[i]` are the code-only
+/// and comment-only views of 0-based source line `i` (same length as the
+/// original line for `code`; `comment` holds just the comment text with
+/// its leading `//` / `/*` marker stripped).
+struct LexedFile {
+  std::vector<std::string> code;
+  std::vector<std::string> comment;
+
+  [[nodiscard]] std::size_t line_count() const noexcept { return code.size(); }
+};
+
+/// Scan `text` (full file contents). Never throws: an unterminated
+/// string/comment simply blanks through to end-of-file, which is also
+/// what the compiler would complain about.
+[[nodiscard]] LexedFile lex(const std::string& text);
+
+/// True when `code[pos..]` starts identifier `word` on a word boundary
+/// (the character before `pos` and after the match are not identifier
+/// characters). Helper shared by the rules.
+[[nodiscard]] bool is_word_at(const std::string& code, std::size_t pos,
+                              const std::string& word);
+
+/// Find the next word-boundary occurrence of `word` in `code` at or after
+/// `from`; npos when absent.
+[[nodiscard]] std::size_t find_word(const std::string& code,
+                                    const std::string& word,
+                                    std::size_t from = 0);
+
+}  // namespace cobra::lint

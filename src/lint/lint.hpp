@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+/// \file lint.hpp
+/// The cobra_lint driver: annotation suppression, baselines, tree
+/// walking, and rendering — everything the tools/cobra_lint binary does,
+/// split out so the tests can lint embedded snippets without touching the
+/// filesystem (same library-behind-a-thin-binary pattern as bench/gate.hpp
+/// and bench/chaos.hpp).
+///
+/// Suppression grammar (parsed out of comments, so it works inside the
+/// code the rules scan):
+///     // cobra-lint: allow(RULE[,RULE...]) justification
+/// RULE is a rule id ("D2-unordered") or a family prefix ("D2"). The
+/// annotation suppresses matching findings on its own line, or — when it
+/// is a standalone comment line — on the next code line. A justification
+/// is mandatory: an allow() without one produces a `lint-annotation`
+/// finding, so grandfathered sites always carry their reason in-tree.
+///
+/// Baselines grandfather known findings without annotations (used for
+/// third-party-shaped code where editing the line is worse than listing
+/// it). One finding per line, `rule|file|normalized snippet`; matching is
+/// multiset semantics on that triple, so line renumbering does not churn
+/// the baseline but a NEW violation of the same rule in the same file
+/// still fails.
+
+namespace cobra::lint {
+
+/// lint_text: the unit-test entry — run rules + annotation handling over
+/// one in-memory file.
+[[nodiscard]] std::vector<Finding> lint_text(const std::string& rel_path,
+                                             const std::string& text);
+
+/// Lint every *.hpp/*.cpp under `roots` (paths relative to `repo_root`),
+/// in sorted path order. Throws std::runtime_error when a root is
+/// missing/unreadable.
+[[nodiscard]] std::vector<Finding> lint_tree(
+    const std::string& repo_root, const std::vector<std::string>& roots);
+
+/// Split findings against a baseline: `fresh` are CI failures, `known`
+/// matched a baseline line (and consumed it).
+struct BaselineSplit {
+  std::vector<Finding> fresh;
+  std::vector<Finding> known;
+};
+
+[[nodiscard]] std::string render_baseline(const std::vector<Finding>& all);
+[[nodiscard]] BaselineSplit apply_baseline(const std::vector<Finding>& all,
+                                           const std::string& baseline_text);
+
+/// Machine-readable findings: {"findings": [{file, line, rule, severity,
+/// message, snippet, baselined}, ...], "fresh": N, "baselined": M}.
+[[nodiscard]] std::string render_findings_json(const BaselineSplit& split);
+
+/// The human table (one row per finding, fresh first).
+[[nodiscard]] std::string render_findings_table(const BaselineSplit& split);
+
+}  // namespace cobra::lint

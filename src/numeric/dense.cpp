@@ -102,7 +102,7 @@ std::vector<double> symmetric_eigenvalues(const Matrix& a, double tolerance,
     for (std::size_t p = 0; p < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = m.at(p, q);
-        if (std::abs(apq) < tolerance / (static_cast<double>(n) * n)) continue;
+        if (std::abs(apq) < tolerance / (static_cast<double>(n) * static_cast<double>(n))) continue;
         const double app = m.at(p, p);
         const double aqq = m.at(q, q);
         // Jacobi rotation annihilating (p, q).

@@ -58,7 +58,7 @@ class Counter {
   [[nodiscard]] std::uint64_t value() const noexcept {
     return v_.load(std::memory_order_relaxed);
   }
-  void store(std::uint64_t v) noexcept {
+  void set(std::uint64_t v) noexcept {
     v_.store(v, std::memory_order_relaxed);
   }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -57,6 +58,23 @@ struct RoundTrace {
   double mean_chunk = 0.0;
   std::uint64_t rng_blocks = 0;
   double seconds = 0.0;
+};
+
+/// Wall-time measurement for the trace's `seconds` field. Clock reads are
+/// the obs layer's business — engine code holds a Stopwatch instead of
+/// touching std::chrono, so cobra_lint's D1-clock rule can keep every
+/// clock out of src/core (timing is telemetry, never trajectory data).
+class Stopwatch {
+ public:
+  void start() noexcept { t0_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_{};
 };
 
 namespace detail {

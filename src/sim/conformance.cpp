@@ -1,0 +1,4 @@
+// Anchor TU for the conformance ledger: building the cobra library
+// evaluates every static_assert in conformance.hpp, so concept drift is a
+// library-build error, not a latent mismatch discovered at a use site.
+#include "sim/conformance.hpp"

@@ -225,9 +225,9 @@ class OccupancyCounter {
   void observe(const P& p) {
     ++rounds_;
     const auto active = p.active();
-    hits_ += std::find(active.begin(), active.end(), target_) != active.end()
-                 ? 1
-                 : 0;
+    if (std::find(active.begin(), active.end(), target_) != active.end()) {
+      ++hits_;
+    }
   }
 
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }

@@ -205,8 +205,8 @@ void arm_spec(const FaultSpec& spec, std::uint64_t seed) {
   for (Site& s : sites) {
     if (s.name == spec.site) {
       s = Site(spec, seed);  // re-arm: fresh counters + stream
-      s.hit_count->store(0);
-      s.fire_count->store(0);
+      s.hit_count->set(0);
+      s.fire_count->set(0);
       detail::any_armed.store(true, std::memory_order_relaxed);
       return;
     }
@@ -214,8 +214,8 @@ void arm_spec(const FaultSpec& spec, std::uint64_t seed) {
   sites.emplace_back(spec, seed);
   // The obs counters outlive disarm_all (metrics registrations persist),
   // so a re-created site must start its counts fresh.
-  sites.back().hit_count->store(0);
-  sites.back().fire_count->store(0);
+  sites.back().hit_count->set(0);
+  sites.back().fire_count->set(0);
   detail::any_armed.store(true, std::memory_order_relaxed);
 }
 

@@ -66,10 +66,10 @@ TEST(SweepMerge, RoundTripCountsAndValidates) {
       "  \"records\": [\n    { \"name\": \"r\" }\n  ]\n}\n";
   ASSERT_TRUE(bench::looks_like_bench_json(child));
   std::vector<bench::SweepRun> runs = {
-      {"bench_demo", "ring:n=64", 1, child},
-      {"bench_demo", "ring:n=64", 2, child},
-      {"bench_demo", "rreg:n=128,d=4", 1, child},
-      {"bench_demo", "rreg:n=128,d=4", 2, child},
+      {"bench_demo", "ring:n=64", 1, child, {}},
+      {"bench_demo", "ring:n=64", 2, child, {}},
+      {"bench_demo", "rreg:n=128,d=4", 1, child, {}},
+      {"bench_demo", "rreg:n=128,d=4", 2, child, {}},
   };
   const std::string merged =
       bench::merge_sweep_json(runs, 4, {{"graph", "ring:n=64,rreg:n=128,d=4"}});
@@ -85,7 +85,7 @@ TEST(SweepMerge, RoundTripCountsAndValidates) {
 TEST(SweepMerge, DroppedRunFailsValidation) {
   const std::string child =
       "{ \"benchmark\": \"demo\", \"records\": [] }";
-  std::vector<bench::SweepRun> runs = {{"bench_demo", "ring:n=64", 1, child}};
+  std::vector<bench::SweepRun> runs = {{"bench_demo", "ring:n=64", 1, child, {}}};
   // Promised 2, delivered 1 — the failure mode the CI step must catch.
   const std::string merged = bench::merge_sweep_json(runs, 2, {});
   std::string error;
@@ -142,7 +142,7 @@ TEST(SweepMerge, TruncatedRealRecordPrefixesAreRejected) {
 
 TEST(SweepMerge, FailedRunsAreCountedAndKeepValidationHonest) {
   const std::string child = "{ \"benchmark\": \"demo\", \"records\": [] }";
-  std::vector<bench::SweepRun> runs = {{"bench_demo", "ring:n=64", 1, child}};
+  std::vector<bench::SweepRun> runs = {{"bench_demo", "ring:n=64", 1, child, {}}};
   std::vector<bench::FailedRun> failed = {
       {"bench_demo", "ring:n=64", 2, 3, "exit 86"}};
   // 1 completed + 1 quarantined == 2 expected: valid.
@@ -181,8 +181,8 @@ TEST(SweepResume, ExtractInvertsTheMergeExactly) {
   const std::string child = reporter.render();
   ASSERT_TRUE(bench::looks_like_bench_json(child));
   const std::vector<bench::SweepRun> runs = {
-      {"bench_demo", "rreg:n=128,d=4,seed=1", 1, child},
-      {"bench_demo", "rreg:n=128,d=4,seed=1", 8, child},
+      {"bench_demo", "rreg:n=128,d=4,seed=1", 1, child, {}},
+      {"bench_demo", "rreg:n=128,d=4,seed=1", 8, child, {}},
   };
   const std::vector<bench::FailedRun> failed = {
       {"bench_demo", "ring:n=64", 1, 2, "timeout after 1s (exit 124)"}};
@@ -243,7 +243,7 @@ TEST(SweepMerge, MetricsSnapshotsEmbedWithoutBreakingTheFormat) {
       "\"value\": 1 } ]\n}\n";
   std::vector<bench::SweepRun> runs = {
       {"bench_demo", "ring:n=64", 1, child, metrics},
-      {"bench_demo", "ring:n=64", 2, child},  // no metrics: key omitted
+      {"bench_demo", "ring:n=64", 2, child, {}},  // no metrics: key omitted
   };
   const std::string merged = bench::merge_sweep_json(runs, 2, {});
   EXPECT_NE(merged.find("\"metrics\""), std::string::npos);
@@ -296,8 +296,8 @@ TEST(SweepMerge, DistinctContextValuesFindsFingerprintDrift) {
       "{ \"benchmark\": \"demo\", \"context\": { \"git_sha\": \"bbb2222\", "
       "\"hardware_concurrency\": 8 }, \"records\": [ { \"name\": \"r\" } ] }";
   std::vector<bench::SweepRun> runs = {
-      {"bench_demo", "ring:n=64", 1, child_a},
-      {"bench_demo", "ring:n=64", 2, child_b},
+      {"bench_demo", "ring:n=64", 1, child_a, {}},
+      {"bench_demo", "ring:n=64", 2, child_b, {}},
   };
   const std::string merged = bench::merge_sweep_json(runs, 2, {});
   const auto shas = bench::distinct_context_values(merged, "git_sha");

@@ -170,12 +170,12 @@ TEST(ExactCobra, InputValidation) {
   EXPECT_THROW(ExactCobra(g, 3), std::invalid_argument);
   EXPECT_THROW(ExactCobra(make_cycle(12), 2), std::invalid_argument);  // n > 10
   const ExactCobra exact(g, 2);
-  EXPECT_THROW(exact.expected_hitting_time(9, 0), std::out_of_range);
-  EXPECT_THROW(exact.transition_row(0), std::out_of_range);
+  EXPECT_THROW((void)exact.expected_hitting_time(9, 0), std::out_of_range);
+  EXPECT_THROW((void)exact.transition_row(0), std::out_of_range);
   // Cover limited to n <= 8.
   const Graph g10 = make_cycle(10);
   const ExactCobra exact10(g10, 2);
-  EXPECT_THROW(exact10.expected_cover_time(0), std::invalid_argument);
+  EXPECT_THROW((void)exact10.expected_cover_time(0), std::invalid_argument);
   EXPECT_GT(exact10.expected_hitting_time(0, 5), 0.0);  // hitting still fine
 }
 

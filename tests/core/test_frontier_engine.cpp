@@ -37,13 +37,13 @@ struct TwoSampler {
 };
 
 std::vector<Vertex> run_rounds(const Graph& g, FrontierOptions opts,
-                               int rounds) {
+                               std::uint64_t rounds) {
   FrontierEngine engine(g, opts);
   const TwoSampler sampler{&g, NeighborSampler(g)};
   std::vector<Vertex> frontier(g.num_vertices());
   std::iota(frontier.begin(), frontier.end(), 0u);
   std::vector<Vertex> next;
-  for (int r = 0; r < rounds; ++r) {
+  for (std::uint64_t r = 0; r < rounds; ++r) {
     engine.expand(frontier, next, /*round_seed=*/0x5EED0000ULL + r, sampler);
     frontier.swap(next);
   }
@@ -103,7 +103,7 @@ TEST(FrontierEngine, ParallelDenseOpsBitIdenticalToSerialOps) {
     std::vector<Vertex> frontier(64);
     std::iota(frontier.begin(), frontier.end(), 0u);
     std::vector<Vertex> next;
-    for (int r = 0; r < 5; ++r) {
+    for (std::uint64_t r = 0; r < 5; ++r) {
       engine.expand(frontier, next, /*round_seed=*/0xD05E + r, sampler);
       frontier.swap(next);
     }
@@ -240,7 +240,7 @@ TEST(FrontierEngine, ExtinctGeneralizedWalkStepsAreCheapNoOps) {
 /// materialized frontier after every round.
 std::vector<std::vector<Vertex>> run_trajectory(const Graph& g,
                                                 FrontierOptions opts,
-                                                int rounds) {
+                                                std::uint64_t rounds) {
   FrontierEngine engine(g, opts);
   const TwoSampler sampler{&g, NeighborSampler(g)};
   std::vector<Vertex> all(g.num_vertices());
@@ -248,7 +248,7 @@ std::vector<std::vector<Vertex>> run_trajectory(const Graph& g,
   Frontier frontier, next;
   engine.dedupe(all, frontier);
   std::vector<std::vector<Vertex>> trajectory;
-  for (int r = 0; r < rounds; ++r) {
+  for (std::uint64_t r = 0; r < rounds; ++r) {
     // Same seed schedule as run_rounds, so span-API and Frontier-API
     // trajectories are directly comparable.
     engine.expand(frontier, next, /*round_seed=*/0x5EED0000ULL + r, sampler);
@@ -397,7 +397,7 @@ TEST(FrontierEngine, EpochStampsSurviveInterleavedDenseRounds) {
     Frontier frontier, next;
     engine.dedupe(all, frontier);
     std::vector<std::vector<Vertex>> trajectory;
-    for (int r = 0; r < 10; ++r) {
+    for (std::uint64_t r = 0; r < 10; ++r) {
       engine.options().mode = (alternate && r % 2 == 1)
                                   ? FrontierMode::ForceDense
                                   : FrontierMode::ForceSparse;

@@ -40,7 +40,7 @@ struct TwoSampler {
 /// frontier. Exercises both directions of the dual representation.
 std::vector<std::vector<Vertex>> run_expand_retain(const Graph& g,
                                                    FrontierOptions opts,
-                                                   int rounds) {
+                                                   std::uint64_t rounds) {
   FrontierEngine engine(g, opts);
   const TwoSampler sampler{&g, NeighborSampler(g)};
   std::vector<Vertex> all(g.num_vertices());
@@ -48,7 +48,7 @@ std::vector<std::vector<Vertex>> run_expand_retain(const Graph& g,
   Frontier frontier, next;
   engine.dedupe(all, frontier);
   std::vector<std::vector<Vertex>> trajectory;
-  for (int r = 0; r < rounds; ++r) {
+  for (std::uint64_t r = 0; r < rounds; ++r) {
     engine.expand(frontier, next, /*round_seed=*/0x2E7A1000ULL + r, sampler);
     frontier.swap(next);
     engine.retain(frontier, next,

@@ -81,7 +81,7 @@ TEST(GreedyMIS, IndependentAndMaximalAtExtinction) {
       make_cycle(97),      make_complete(32),
       make_star(64),       make_kary_tree(3, 5),
       make_random_regular(graph_gen, 512, 6)};
-  int seed = 100;
+  std::uint64_t seed = 100;
   for (const Graph& g : graphs) {
     GreedyMIS mis(g);
     Engine gen(seed++);
@@ -154,7 +154,7 @@ TEST(GreedyMIS, SeedsActuallySteerTheOutcome) {
   // at least two distinct outcomes (the randomness is live, not vestigial).
   const Graph g = make_cycle(9);
   std::set<std::vector<Vertex>> outcomes;
-  for (int seed = 1; seed <= 32; ++seed) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
     GreedyMIS mis(g);
     Engine gen(seed);
     run_to_done(mis, gen);

@@ -45,7 +45,9 @@ TEST(GridDrift, StepChangesAtMostOneDimensionByOne) {
       }
     }
     EXPECT_LE(changed, 1);
-    if (changed == 0) EXPECT_EQ(event.dimension, -1);
+    if (changed == 0) {
+      EXPECT_EQ(event.dimension, -1);
+    }
   }
 }
 

@@ -68,7 +68,7 @@ TEST(RandomWalk, UniformNeighborChoice) {
     ++counts[walk.position()];
   }
   EXPECT_EQ(counts[0], 0);
-  for (int v = 1; v < 5; ++v) EXPECT_NEAR(counts[v], kTrials / 4, 500);
+  for (std::size_t v = 1; v < 5; ++v) EXPECT_NEAR(counts[v], kTrials / 4, 500);
 }
 
 TEST(RandomWalk, ResetClearsRound) {
@@ -88,7 +88,7 @@ TEST(RandomWalk, ParityOnBipartiteGraph) {
   const Graph g = make_path(10);
   Engine gen(5);
   RandomWalk walk(g, 4);
-  for (int t = 1; t <= 100; ++t) {
+  for (unsigned t = 1; t <= 100; ++t) {
     walk.step(gen);
     EXPECT_EQ((walk.position() + t + 4) % 2, 0u) << "t = " << t;
   }

@@ -127,7 +127,7 @@ TEST(DirectedCheeger, WaltPairChainSandwich) {
 
 TEST(DirectedCheeger, InputValidation) {
   const Digraph d(2, {{0, 1, 1.0}, {1, 0, 1.0}});
-  EXPECT_THROW(directed_cheeger_small(d, {0.5}), std::invalid_argument);
+  EXPECT_THROW((void)directed_cheeger_small(d, {0.5}), std::invalid_argument);
   const Digraph big(
       30, [] {
         std::vector<Digraph::Arc> arcs;
@@ -137,9 +137,9 @@ TEST(DirectedCheeger, InputValidation) {
         return arcs;
       }());
   const std::vector<double> pi(30, 1.0 / 30.0);
-  EXPECT_THROW(directed_cheeger_small(big, pi), std::invalid_argument);
+  EXPECT_THROW((void)directed_cheeger_small(big, pi), std::invalid_argument);
   EXPECT_THROW(
-      directed_laplacian_lambda2(d, std::vector<double>{0.0, 1.0}),
+      (void)directed_laplacian_lambda2(d, std::vector<double>{0.0, 1.0}),
       std::invalid_argument);
 }
 

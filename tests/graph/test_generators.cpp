@@ -272,7 +272,9 @@ TEST_P(GeneratorFamilies, StructuralInvariants) {
   const Graph g = GetParam().build();
   EXPECT_GT(g.num_vertices(), 0u);
   EXPECT_TRUE(g.is_simple());
-  if (GetParam().expect_connected) EXPECT_TRUE(is_connected(g));
+  if (GetParam().expect_connected) {
+    EXPECT_TRUE(is_connected(g));
+  }
   // Handshake: volume == 2 |E|.
   EXPECT_EQ(g.volume(), 2 * g.num_edges());
   // Arc symmetry via has_edge.
@@ -328,8 +330,8 @@ INSTANTIATE_TEST_SUITE_P(
                      return make_random_geometric(gen, 300, 0.12);
                    },
                    false}),
-    [](const ::testing::TestParamInfo<FamilyCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<FamilyCase>& tpi) {
+      return tpi.param.name;
     });
 
 }  // namespace

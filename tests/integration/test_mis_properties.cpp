@@ -124,8 +124,8 @@ TEST_P(MisProperties, BitIdenticalAcrossThreadsAndRepresentations) {
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, MisProperties,
                          ::testing::ValuesIn(families()),
-                         [](const ::testing::TestParamInfo<SweepCase>& info) {
-                           return info.param.name;
+                         [](const ::testing::TestParamInfo<SweepCase>& tpi) {
+                           return tpi.param.name;
                          });
 
 /// LLL determinism twin: full trajectory (violated sets + final

@@ -85,15 +85,18 @@ void append_json(std::string& out, const std::string& family,
                  const SweepResult& r) {
   out += "  \"" + family + "\": {\"n\": [";
   for (std::size_t i = 0; i < r.ns.size(); ++i) {
-    out += (i ? "," : "") + std::to_string(static_cast<std::uint64_t>(r.ns[i]));
+    if (i) out += ',';
+    out += std::to_string(static_cast<std::uint64_t>(r.ns[i]));
   }
   out += "], \"mean_rounds\": [";
   for (std::size_t i = 0; i < r.means.size(); ++i) {
-    out += (i ? "," : "") + std::to_string(r.means[i]);
+    if (i) out += ',';
+    out += std::to_string(r.means[i]);
   }
   out += "], \"median_rounds\": [";
   for (std::size_t i = 0; i < r.medians.size(); ++i) {
-    out += (i ? "," : "") + std::to_string(r.medians[i]);
+    if (i) out += ',';
+    out += std::to_string(r.medians[i]);
   }
   out += "], \"polylog_exponent\": " + std::to_string(r.polylog.exponent) +
          ", \"polylog_r_squared\": " + std::to_string(r.polylog.r_squared) +

@@ -143,8 +143,8 @@ TEST_P(ProcessProperties, ParallelWalksMoreWalkersNoSlower) {
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, ProcessProperties,
                          ::testing::ValuesIn(families()),
-                         [](const ::testing::TestParamInfo<SweepCase>& info) {
-                           return info.param.name;
+                         [](const ::testing::TestParamInfo<SweepCase>& tpi) {
+                           return tpi.param.name;
                          });
 
 }  // namespace

@@ -55,17 +55,17 @@ TEST(Args, UnknownFlagRejectedWhenAllowlisted) {
 
 TEST(Args, BadIntegerThrows) {
   const Args args = parse({"--n=12x"});
-  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("n", 0), std::invalid_argument);
 }
 
 TEST(Args, BadDoubleThrows) {
   const Args args = parse({"--d=1.5zz"});
-  EXPECT_THROW(args.get_double("d", 0.0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("d", 0.0), std::invalid_argument);
 }
 
 TEST(Args, NegativeUintThrows) {
   const Args args = parse({"--n=-3"});
-  EXPECT_THROW(args.get_uint("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_uint("n", 0), std::invalid_argument);
   EXPECT_EQ(args.get_int("n", 0), -3);
 }
 
@@ -75,7 +75,8 @@ TEST(Args, BoolVariants) {
   EXPECT_TRUE(parse({"--f=on"}).get_bool("f", false));
   EXPECT_FALSE(parse({"--f=no"}).get_bool("f", true));
   EXPECT_FALSE(parse({"--f=0"}).get_bool("f", true));
-  EXPECT_THROW(parse({"--f=maybe"}).get_bool("f", false), std::invalid_argument);
+  EXPECT_THROW((void)parse({"--f=maybe"}).get_bool("f", false),
+               std::invalid_argument);
 }
 
 TEST(Args, NegativeNumberAsValueAfterSpace) {

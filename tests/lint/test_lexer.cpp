@@ -1,0 +1,97 @@
+#include "lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+// The scanner's one job: CODE and NON-CODE must never mix. Every rule's
+// false-positive immunity (a banned identifier quoted in a string or
+// discussed in a comment) reduces to these properties.
+
+namespace {
+
+using cobra::lint::LexedFile;
+using cobra::lint::find_word;
+using cobra::lint::is_word_at;
+using cobra::lint::lex;
+
+TEST(LintLexer, LineCommentBlankedAndCaptured) {
+  const LexedFile f = lex("int x = 1;  // don't call rand() here\nint y;\n");
+  EXPECT_EQ(find_word(f.code[0], "rand"), std::string::npos);
+  EXPECT_NE(f.comment[0].find("rand()"), std::string::npos);
+  EXPECT_NE(find_word(f.code[0], "x"), std::string::npos);
+  EXPECT_NE(find_word(f.code[1], "y"), std::string::npos);
+}
+
+TEST(LintLexer, BlockCommentSpansLines) {
+  const LexedFile f = lex("a /* rand()\n time() */ b;\n");
+  EXPECT_EQ(find_word(f.code[0], "rand"), std::string::npos);
+  EXPECT_EQ(find_word(f.code[1], "time"), std::string::npos);
+  EXPECT_NE(find_word(f.code[0], "a"), std::string::npos);
+  EXPECT_NE(find_word(f.code[1], "b"), std::string::npos);
+  EXPECT_NE(f.comment[0].find("rand()"), std::string::npos);
+  EXPECT_NE(f.comment[1].find("time()"), std::string::npos);
+}
+
+TEST(LintLexer, StringBodyBlankedColumnsPreserved) {
+  const std::string src = "call(\"std::rand()\");\nnext;\n";
+  const LexedFile f = lex(src);
+  EXPECT_EQ(find_word(f.code[0], "rand"), std::string::npos);
+  // Columns are preserved: the code view of a line has the same length.
+  EXPECT_EQ(f.code[0].size(), std::string("call(\"std::rand()\");").size());
+  // Delimiters survive so string boundaries stay visible.
+  EXPECT_NE(f.code[0].find('"'), std::string::npos);
+}
+
+TEST(LintLexer, EscapedQuoteDoesNotEndString) {
+  const LexedFile f = lex("s = \"a\\\"rand()\"; int k;\n");
+  EXPECT_EQ(find_word(f.code[0], "rand"), std::string::npos);
+  EXPECT_NE(find_word(f.code[0], "k"), std::string::npos);
+}
+
+TEST(LintLexer, RawStringSpansLines) {
+  const LexedFile f =
+      lex("auto s = R\"(\n std::rand();\n time(nullptr);\n)\"; int z;\n");
+  EXPECT_EQ(find_word(f.code[1], "rand"), std::string::npos);
+  EXPECT_EQ(find_word(f.code[2], "time"), std::string::npos);
+  EXPECT_NE(find_word(f.code[3], "z"), std::string::npos);
+}
+
+TEST(LintLexer, RawStringCustomDelimiter) {
+  const LexedFile f =
+      lex("auto s = R\"xy( rand(); )\" still string )xy\"; int q;\n");
+  EXPECT_EQ(find_word(f.code[0], "rand"), std::string::npos);
+  EXPECT_EQ(find_word(f.code[0], "string"), std::string::npos);
+  EXPECT_NE(find_word(f.code[0], "q"), std::string::npos);
+}
+
+TEST(LintLexer, CharLiteralAndDigitSeparator) {
+  // The ' in 1'000'000 is a digit separator, not a char literal opener —
+  // mis-lexing it would swallow the rest of the line as a "literal".
+  const LexedFile f = lex("int n = 1'000'000; char c = 'r'; rand();\n");
+  EXPECT_NE(find_word(f.code[0], "rand"), std::string::npos);
+  EXPECT_NE(find_word(f.code[0], "n"), std::string::npos);
+}
+
+TEST(LintLexer, CommentInsideStringIsString) {
+  const LexedFile f = lex("s = \"// not a comment\"; rand();\n");
+  EXPECT_TRUE(f.comment[0].empty());
+  EXPECT_NE(find_word(f.code[0], "rand"), std::string::npos);
+}
+
+TEST(LintLexer, WordBoundaries) {
+  EXPECT_TRUE(is_word_at("rand()", 0, "rand"));
+  EXPECT_FALSE(is_word_at("srand()", 1, "rand"));     // prefixed
+  EXPECT_FALSE(is_word_at("rand_r()", 0, "rand"));    // suffixed
+  EXPECT_TRUE(is_word_at("std::rand()", 5, "rand"));  // qualified
+  EXPECT_EQ(find_word("a brand new rand", "rand"), 12u);
+}
+
+TEST(LintLexer, LineCountMatchesSource) {
+  const LexedFile f = lex("a\nb\nc");
+  EXPECT_EQ(f.line_count(), 3u);
+  const LexedFile g = lex("");
+  EXPECT_EQ(g.line_count(), 1u);
+}
+
+}  // namespace

@@ -32,7 +32,7 @@ TEST(Matrix, MaxAbsDiff) {
   b.at(0, 0) = 1.5;
   b.at(1, 1) = -0.2;
   EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.5);
-  EXPECT_THROW(a.max_abs_diff(Matrix(3)), std::invalid_argument);
+  EXPECT_THROW((void)a.max_abs_diff(Matrix(3)), std::invalid_argument);
 }
 
 TEST(SolveLinear, HandSolvable) {
@@ -49,7 +49,8 @@ TEST(SolveLinear, HandSolvable) {
 
 TEST(SolveLinear, IdentityIsNoop) {
   const auto x = solve_linear(Matrix::identity(4), {1, 2, 3, 4});
-  for (int i = 0; i < 4; ++i) EXPECT_NEAR(x[i], i + 1.0, 1e-14);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(x[i], static_cast<double>(i) + 1.0, 1e-14);
 }
 
 TEST(SolveLinear, RequiresPivoting) {

@@ -40,7 +40,7 @@ TEST(Metrics, CounterAddReturnsPreviousValue) {
   EXPECT_EQ(c.add(), 0u);
   EXPECT_EQ(c.add(5), 1u);
   EXPECT_EQ(c.value(), 6u);
-  c.store(0);
+  c.set(0);
   EXPECT_EQ(c.value(), 0u);
 }
 
@@ -68,8 +68,8 @@ TEST(Metrics, RegistryReturnsStableReferencesByName) {
 }
 
 TEST(Metrics, SnapshotListsRegisteredMetricsSorted) {
-  obs::registry().counter("test.snap.b").store(3);
-  obs::registry().counter("test.snap.a").store(1);
+  obs::registry().counter("test.snap.b").set(3);
+  obs::registry().counter("test.snap.a").set(1);
   obs::registry().gauge("test.snap.g").set(0.5);
   obs::Timer& t = obs::registry().timer("test.snap.t");
   t.reset();
@@ -120,7 +120,7 @@ TEST(Metrics, ResetZeroesValuesButKeepsRegistrationsAndReferences) {
 TEST(Metrics, ConcurrentIncrementsLoseNothing) {
   obs::Counter& c = obs::registry().counter("test.concurrent");
   obs::Timer& t = obs::registry().timer("test.concurrent.t");
-  c.store(0);
+  c.set(0);
   t.reset();
   constexpr int kThreads = 8;
   constexpr int kPerThread = 10000;
@@ -175,7 +175,7 @@ TEST(Metrics, MetricsObserverFeedsRegistryThroughRunner) {
 }
 
 TEST(Metrics, WriteMetricsJsonEmitsManifestAndSamples) {
-  obs::registry().counter("test.json.marker").store(42);
+  obs::registry().counter("test.json.marker").set(42);
   const std::string path = testing::TempDir() + "cobra_metrics_test.json";
   ASSERT_TRUE(obs::write_metrics_json(path));
   std::ifstream in(path);

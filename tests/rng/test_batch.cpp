@@ -73,7 +73,7 @@ TEST(Batched, InnerAdvancesPastBuffer) {
   EXPECT_EQ(first, stream[0]);
   const std::uint64_t inner_draw = batched.inner()();  // stream[8]
   EXPECT_EQ(inner_draw, stream[8]);
-  for (int i = 1; i < 8; ++i) EXPECT_EQ(batched(), stream[i]);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_EQ(batched(), stream[i]);
   // Next refill starts after the inner draw.
   EXPECT_EQ(batched(), stream[9]);
 }

@@ -129,7 +129,7 @@ TEST(Pick, CoversAllElements) {
   for (int i = 0; i < 10000; ++i) {
     ++counts[static_cast<std::size_t>(pick(gen, std::span<const int>(items)))];
   }
-  for (int v = 1; v <= 5; ++v) EXPECT_GT(counts[v], 1500);
+  for (std::size_t v = 1; v <= 5; ++v) EXPECT_GT(counts[v], 1500);
 }
 
 TEST(Geometric, MeanMatches) {

@@ -1,0 +1,56 @@
+#include "sim/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+// The ledger itself is compile-time (including this header IS the test);
+// these runtime checks just pin the concept's behavior on shapes that are
+// easy to get wrong, so a loosened concept fails a test and not only a
+// code review.
+
+namespace {
+
+using cobra::sim::Checkpointable;
+using cobra::sim::Process;
+
+struct NotAProcess {};
+
+// Each missing/broken requirement must individually break conformance.
+struct NoStep {
+  [[nodiscard]] std::span<const cobra::core::Vertex> active() const {
+    return {};
+  }
+  [[nodiscard]] std::uint64_t round() const { return 0; }
+  [[nodiscard]] std::uint32_t n() const { return 0; }
+};
+
+struct NonConstActive {
+  void step(cobra::core::Engine&) {}
+  [[nodiscard]] std::span<const cobra::core::Vertex> active() { return {}; }
+  [[nodiscard]] std::uint64_t round() const { return 0; }
+  [[nodiscard]] std::uint32_t n() const { return 0; }
+};
+
+struct Minimal {
+  void step(cobra::core::Engine&) {}
+  [[nodiscard]] std::span<const cobra::core::Vertex> active() const {
+    return {};
+  }
+  [[nodiscard]] std::uint64_t round() const { return 0; }
+  [[nodiscard]] std::uint32_t n() const { return 0; }
+};
+
+TEST(Conformance, ConceptShape) {
+  static_assert(!Process<NotAProcess>);
+  static_assert(!Process<NoStep>);
+  static_assert(!Process<NonConstActive>);
+  static_assert(Process<Minimal>);
+  static_assert(!Checkpointable<Minimal>);
+  SUCCEED();
+}
+
+TEST(Conformance, LedgerIsIncluded) {
+  // Compiling this TU evaluated every assert in conformance.hpp.
+  SUCCEED();
+}
+
+}  // namespace

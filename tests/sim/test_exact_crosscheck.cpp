@@ -43,7 +43,7 @@ void expect_agrees(const stats::Summary& s, double exact,
 }
 
 TEST(ExactCrossCheck, CobraCoverOnTinyGraphsMatchesExactTables) {
-  for (const std::string spec :
+  for (const std::string& spec :
        {std::string("ring:n=6"), std::string("complete:n=5"),
         std::string("path:n=5")}) {
     const graph::Graph g = gen::build_graph(spec);

@@ -141,13 +141,15 @@ TEST_P(ExactMisCrosscheck, FinalSetIsAnEnumeratedMaximalIndependentSet) {
   }
   // Unless the graph pins the answer (one legal MIS), the seeds must reach
   // more than one of them — the randomness is live.
-  if (legal.size() > 1) EXPECT_GT(seen.size(), 1u) << GetParam().name;
+  if (legal.size() > 1) {
+    EXPECT_GT(seen.size(), 1u) << GetParam().name;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(TinyGraphs, ExactMisCrosscheck,
                          ::testing::ValuesIn(tiny_graphs()),
-                         [](const ::testing::TestParamInfo<TinyCase>& info) {
-                           return info.param.name;
+                         [](const ::testing::TestParamInfo<TinyCase>& tpi) {
+                           return tpi.param.name;
                          });
 
 }  // namespace
